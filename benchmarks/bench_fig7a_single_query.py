@@ -1,0 +1,34 @@
+"""Figure 7a: single-query load on the stream processor, per plan.
+
+Paper shape: All-SP is the ceiling; Filter-DP helps only for queries that
+filter away most traffic (SSH brute force) and tracks All-SP for broad
+queries (superspreader); Max-DP and Sonata sit orders of magnitude below;
+Fix-REF roughly matches Sonata at extra detection delay.
+"""
+
+from benchmarks.conftest import format_table, write_result
+from repro.evaluation.sweeps import ALL_MODES, figure7a_single_query
+
+
+def bench_fig7a(benchmark, sweep_context):
+    results = benchmark.pedantic(
+        figure7a_single_query, args=(sweep_context,), rounds=1, iterations=1
+    )
+    rows = [
+        [name] + [row[mode] for mode in ALL_MODES]
+        for name, row in results.items()
+    ]
+    table = format_table(["query"] + list(ALL_MODES), rows)
+    write_result("fig7a_single_query", table)
+
+    for name, row in results.items():
+        assert row["sonata"] <= row["all_sp"], name
+        assert row["sonata"] <= row["max_dp"] * 1.05, name
+        assert row["all_sp"] == max(row.values()), name
+        # the headline: orders-of-magnitude reduction vs mirror-everything
+        # (join queries whose second branch has no selective threshold —
+        # slowloris — gain least, as in the paper's Figure 7a)
+        assert row["sonata"] * 10 < row["all_sp"], name
+    # Filter-DP ≈ All-SP for queries without selective filters (§6.2).
+    superspreader = results["superspreader"]
+    assert superspreader["filter_dp"] == superspreader["all_sp"]

@@ -1,0 +1,29 @@
+"""Figure 7b: stream-processor load vs number of concurrent queries.
+
+Paper shape: every plan's load grows with the query count; with all eight
+queries installed, Sonata stays orders of magnitude below All-SP/Filter-DP
+and clearly below Max-DP; Fix-REF degrades fastest as resources are
+exhausted by its fixed multi-level plans.
+"""
+
+from benchmarks.conftest import format_table, write_result
+from repro.evaluation.sweeps import ALL_MODES, figure7b_multi_query
+
+
+def bench_fig7b(benchmark, sweep_context):
+    results = benchmark.pedantic(
+        figure7b_multi_query, args=(sweep_context,), rounds=1, iterations=1
+    )
+    rows = [
+        [k] + [row[mode] for mode in ALL_MODES] for k, row in results.items()
+    ]
+    table = format_table(["#queries"] + list(ALL_MODES), rows)
+    write_result("fig7b_multi_query", table)
+
+    for k, row in results.items():
+        assert row["sonata"] <= row["all_sp"]
+        assert row["sonata"] <= row["filter_dp"]
+    full = results[max(results)]
+    assert full["sonata"] * 20 < full["all_sp"]
+    # load grows with the number of queries for the static plans
+    assert results[max(results)]["all_sp"] >= results[1]["all_sp"]

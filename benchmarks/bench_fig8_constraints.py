@@ -1,0 +1,58 @@
+"""Figure 8: effect of the four switch constraints (S, A, B, M).
+
+One panel per parameter; each relaxation weakly reduces the load for
+every plan, with Sonata at or below Max-DP and Fix-REF throughout.
+"""
+
+import pytest
+
+from benchmarks.conftest import format_table, write_result
+from repro.evaluation.sweeps import figure8_constraints
+from repro.switch.config import KB, MB
+
+MODES = ("max_dp", "fix_ref", "sonata")
+
+#: Reduced grids (the paper's full grids are in FIGURE8_SWEEPS; these keep
+#: the benchmark suite's ILP count manageable while preserving the shape).
+GRIDS = {
+    "stages": (2, 4, 8, 16, 32),
+    "stateful_actions_per_stage": (1, 2, 8, 32),
+    "register_bits_per_stage": tuple(int(x * MB) for x in (0.5, 2, 8, 32)),
+    "metadata_bits": tuple(int(x * 8 * KB) for x in (0.25, 1.0, 4.0)),
+}
+
+_LABEL = {
+    "stages": "fig8a_stages",
+    "stateful_actions_per_stage": "fig8b_actions_per_stage",
+    "register_bits_per_stage": "fig8c_memory_per_stage",
+    "metadata_bits": "fig8d_metadata_size",
+}
+
+
+@pytest.mark.parametrize("parameter", list(GRIDS))
+def bench_fig8(benchmark, sweep_context, parameter):
+    results = benchmark.pedantic(
+        figure8_constraints,
+        kwargs={
+            "context": sweep_context,
+            "modes": MODES,
+            "sweeps": {parameter: GRIDS[parameter]},
+        },
+        rounds=1,
+        iterations=1,
+    )
+    column = results[parameter]
+    rows = [
+        [value] + [column[value][mode] for mode in MODES]
+        for value in GRIDS[parameter]
+    ]
+    table = format_table([parameter] + list(MODES), rows)
+    write_result(_LABEL[parameter], table)
+
+    values = GRIDS[parameter]
+    for mode in MODES:
+        series = [column[v][mode] for v in values]
+        # Relaxing the constraint helps, up to solver tolerance.
+        assert series[-1] <= series[0] * 1.10, (parameter, mode, series)
+    for value in values:
+        assert column[value]["sonata"] <= column[value]["max_dp"] * 1.10

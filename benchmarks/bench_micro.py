@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the substrate components (multi-round timings).
+
+Unlike the figure benchmarks (single-shot regenerations), these exercise
+the hot paths repeatedly so pytest-benchmark statistics are meaningful:
+per-packet switch processing, vectorized window evaluation, register
+updates, and the ILP build+solve.
+"""
+
+import pytest
+
+from repro.analytics import execute_subquery
+from repro.packets import BackboneConfig, Trace, attacks, generate_backbone
+from repro.planner import QueryPlanner
+from repro.planner.collisions import size_register
+from repro.planner.ilp import PlanILP
+from repro.queries.library import build_query
+from repro.switch import PISASwitch, SwitchConfig, compile_subquery
+from repro.switch.registers import RegisterChain
+from repro.utils.hashing import stable_hash
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    bg = generate_backbone(BackboneConfig(duration=3.0, pps=2_000, seed=3))
+    return Trace.merge(
+        [bg, attacks.syn_flood(0x0A000001, duration=3.0, pps=100, seed=1)]
+    )
+
+
+@pytest.fixture(scope="module")
+def query():
+    return build_query("newly_opened_tcp_conns", qid=1, Th=120)
+
+
+def bench_switch_packet_rate(benchmark, small_trace, query):
+    """Per-packet behavioural-switch throughput (full Query 1 pipeline)."""
+    compiled = compile_subquery(query.subquery(0))
+    sized = []
+    config = SwitchConfig.paper_default()
+    for t in compiled.tables:
+        if t.stateful:
+            sized.append(
+                t.sized(
+                    size_register(
+                        t.register.name, 2048, t.register.key_bits,
+                        t.register.value_bits, config,
+                    )
+                )
+            )
+        else:
+            sized.append(t)
+    switch = PISASwitch(config)
+    switch.install("bench", compiled, 4, sized_tables=sized)
+    packets = [small_trace.packet(i) for i in range(0, len(small_trace), 10)]
+
+    def run():
+        for pkt in packets:
+            switch.process_packet(pkt)
+        switch.end_window()
+
+    benchmark(run)
+
+
+def bench_columnar_window(benchmark, small_trace, query):
+    """Vectorized evaluation of one window (the planner's inner loop)."""
+    sq = query.subquery(0)
+    benchmark(execute_subquery, sq, small_trace)
+
+
+def bench_register_chain_updates(benchmark):
+    from repro.switch.registers import RegisterSpec
+
+    chain = RegisterChain(RegisterSpec("r", n_slots=4096, d=2, key_bits=32))
+
+    def run():
+        for key in range(2_000):
+            chain.update(key & 0x3FF, "sum", 1)
+        chain.reset()
+
+    benchmark(run)
+
+
+def bench_stable_hash(benchmark):
+    benchmark(lambda: [stable_hash((i, i * 7), seed=3) for i in range(1_000)])
+
+
+def bench_ilp_solve(benchmark, small_trace, query):
+    """Build + solve the single-query planning MILP."""
+    planner = QueryPlanner([query], small_trace, window=3.0, time_limit=20)
+    costs = planner.costs()
+
+    def solve():
+        return PlanILP(costs, SwitchConfig.paper_default(), mode="sonata").solve()
+
+    plan = benchmark.pedantic(solve, rounds=3, iterations=1)
+    assert plan.est_total_tuples >= 0

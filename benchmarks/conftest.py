@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation section, prints it, and appends it to
+``benchmarks/results/<name>.txt`` so the regenerated artifacts survive the
+run. The expensive shared state (the eight-query workload and its
+trace-driven cost estimation) is built once per session.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.evaluation.sweeps import SweepContext
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a regenerated table/figure and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}]\n{text}")
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = ["  ".join(str(h).rjust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="session")
+def sweep_context() -> SweepContext:
+    """The §6.1 setup: eight layer-3/4 queries over an attacked backbone."""
+    return SweepContext.build(
+        duration=27.0,
+        pps=3_000.0,
+        window=3.0,
+        max_levels=4,
+        seed=7,
+        time_limit=20.0,
+    )

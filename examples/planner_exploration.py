@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Exploring the query planner: what does each switch resource buy?
+
+Sweeps one data-plane constraint at a time (as in Figure 8) for the
+DDoS-detection query and prints the plan the ILP chooses — refinement
+path, partitioning cut, and estimated stream-processor load — so you can
+see the planner trade refinement depth against switch memory.
+
+Run: python examples/planner_exploration.py
+"""
+
+from dataclasses import replace
+
+from repro.evaluation.workloads import build_workload
+from repro.planner import QueryPlanner
+from repro.planner.ilp import PlanILP
+from repro.queries.library import build_queries
+from repro.switch.config import KB, MB, SwitchConfig
+
+
+def main() -> None:
+    names = ["ddos", "newly_opened_tcp_conns", "superspreader"]
+    workload = build_workload(names, duration=15.0, pps=2_000)
+    queries = build_queries(names)
+    planner = QueryPlanner(queries, workload.trace, window=3.0, time_limit=15)
+    costs = planner.costs()  # estimated once, reused for every sweep point
+
+    base = SwitchConfig.paper_default()
+    sweeps = {
+        "register_bits_per_stage": [int(0.05 * MB), int(0.5 * MB), 8 * MB],
+        "stages": [4, 8, 16],
+        "stateful_actions_per_stage": [1, 2, 8],
+    }
+
+    for parameter, values in sweeps.items():
+        print(f"\n=== sweeping {parameter} ===")
+        for value in values:
+            overrides = {parameter: value}
+            if parameter == "register_bits_per_stage":
+                overrides["max_single_register_bits"] = value
+            config = replace(base, **overrides)
+            plan = PlanILP(costs, config, mode="sonata", time_limit=15).solve()
+            print(f"  {parameter} = {value}:")
+            for qplan in plan.query_plans.values():
+                path = " -> ".join(str(r) for r in ("*",) + qplan.path)
+                cuts = {inst.key: inst.cut for inst in qplan.instances}
+                print(
+                    f"    {qplan.query.name:26} path {path:22} "
+                    f"est {qplan.est_tuples_per_window:8.0f} tuples/window"
+                )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Traffic analysis toolkit: stats, flows, pcap export, custom query files.
+
+Before planning telemetry queries, an operator inspects the training
+traffic (§3.3 plans are only as good as the training data). This example
+tours the analysis APIs around the core system:
+
+- structural trace summaries (`repro.packets.stats`);
+- flow-level aggregation and heavy hitters (`repro.packets.flows`);
+- pcap export for standard tools (`repro.packets.pcap`);
+- queries as version-controlled JSON (`repro.core.serialize`).
+
+Run: python examples/traffic_analysis.py
+"""
+
+import json
+import tempfile
+
+from repro.core import query_from_dict, query_to_dict
+from repro.packets import (
+    BackboneConfig,
+    Trace,
+    attacks,
+    generate_backbone,
+    summarize,
+    top_flows,
+)
+from repro.packets.pcap import read_pcap, write_pcap
+from repro.queries.library import build_query
+
+
+def main() -> None:
+    backbone = generate_backbone(BackboneConfig(duration=8.0, pps=2_000))
+    trace = Trace.merge(
+        [backbone, attacks.ddos(0x0A0A0A0A, duration=8.0, n_sources=500)]
+    )
+
+    print("=== trace summary ===")
+    print(summarize(trace).describe())
+
+    print("\n=== top flows by bytes ===")
+    for flow in top_flows(trace, count=5):
+        print(" ", flow.describe())
+
+    with tempfile.TemporaryDirectory() as tmp:
+        pcap_path = f"{tmp}/sample.pcap"
+        sample = trace.slice(slice(0, 1_000))
+        write_pcap(pcap_path, sample.packets())
+        back = read_pcap(pcap_path)
+        print(f"\npcap round trip: wrote {len(sample)} packets, read {len(back)}")
+
+        query = build_query("ddos", qid=1, Th=200)
+        query_path = f"{tmp}/ddos_query.json"
+        with open(query_path, "w") as fh:
+            json.dump(query_to_dict(query), fh, indent=2)
+        with open(query_path) as fh:
+            restored = query_from_dict(json.load(fh))
+        print(f"query JSON round trip: {restored.name} -> {restored.describe()}")
+
+
+if __name__ == "__main__":
+    main()

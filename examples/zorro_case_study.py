@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""The Figure 9 case study: catching an IoT telnet attack in real time.
+
+An attacker brute-forces telnet logins against one host starting at t=9s
+and, after gaining shell access at t=19s, downloads a dropper whose
+command line contains the keyword "zorro". The Zorro query (Query 3 of the
+paper) joins a payload predicate — which no switch can evaluate — with an
+in-switch aggregation of similar-sized telnet packets, and dynamic
+refinement zooms from the whole address space to the victim /24 and then
+the /32 before any payload byte is inspected.
+
+Run: python examples/zorro_case_study.py
+"""
+
+from repro.evaluation.casestudy import figure9_case_study
+from repro.utils.iputil import format_ip
+
+
+def main() -> None:
+    result = figure9_case_study(
+        duration=24.0, pps=1_500.0, attack_start=9.0, shell_delay=10.0
+    )
+    print(result.describe())
+    print()
+    print(f"victim address: {format_ip(result.victim)}")
+    print(
+        "the stream processor needed only "
+        f"{result.tuples_to_identify_victim} tuple(s) from the aggregation "
+        "path to pinpoint the victim — everything else stayed in the data plane"
+    )
+    reduction = sum(result.received_per_window) / max(
+        sum(result.reported_per_window), 1
+    )
+    print(f"overall tuple reduction across the run: {reduction:.0f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Sonata: query-driven streaming network telemetry — full reproduction.
+
+This package reproduces the complete Sonata system from SIGCOMM 2018:
+
+- :mod:`repro.core` — the declarative dataflow query interface
+  (``PacketStream`` with ``filter/map/reduce/distinct/join``).
+- :mod:`repro.packets` — packet model, columnar traces, synthetic
+  backbone-traffic and attack generators (CAIDA-trace substitute).
+- :mod:`repro.switch` — a behavioural PISA switch: programmable parser,
+  match-action pipeline with (S, A, B, M) resource constraints, hash-indexed
+  registers with d-way collision chains, and a P4-16 code generator.
+- :mod:`repro.streaming` — a micro-batch stream processor (Spark Streaming
+  substitute) that executes the residual portion of each query.
+- :mod:`repro.analytics` — vectorized (numpy) query evaluation used for
+  cost estimation and ground truth.
+- :mod:`repro.planner` — the query planner: cost estimation from training
+  traces, the partitioning + dynamic-refinement ILP (Table 2 / Section 4.2),
+  and the emulated baseline plans of Table 4.
+- :mod:`repro.runtime` — the runtime that installs plans, drives the switch,
+  parses mirrored traffic (emitter), executes residual operators, and
+  performs iterative refinement across windows.
+- :mod:`repro.queries` — the eleven telemetry queries of Table 3.
+- :mod:`repro.evaluation` — harnesses that regenerate every table and figure
+  of the paper's evaluation section.
+"""
+
+from repro.core.query import PacketStream
+from repro.core.errors import (
+    CompilationError,
+    PlanningError,
+    QueryValidationError,
+    ReproError,
+    ResourceExhaustedError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PacketStream",
+    "ReproError",
+    "QueryValidationError",
+    "CompilationError",
+    "PlanningError",
+    "ResourceExhaustedError",
+    "__version__",
+]

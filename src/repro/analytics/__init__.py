@@ -1,0 +1,26 @@
+"""Vectorized query evaluation over columnar traces.
+
+This is the trace-driven analysis engine: the planner uses it to estimate
+``N`` (tuples reaching the stream processor) and ``B`` (register state) for
+every candidate cut of every query (§3.3), and the test suite uses it as
+ground truth that the per-packet switch + stream-processor pipeline must
+agree with.
+"""
+
+from repro.analytics.columnar import (
+    ColumnarResult,
+    ColumnarState,
+    OperatorStats,
+    execute_operators,
+    execute_query,
+    execute_subquery,
+)
+
+__all__ = [
+    "ColumnarState",
+    "ColumnarResult",
+    "OperatorStats",
+    "execute_operators",
+    "execute_subquery",
+    "execute_query",
+]

@@ -1,0 +1,337 @@
+"""Command-line interface: generate workloads, plan, run, inspect.
+
+Usage (also via ``python -m repro``):
+
+    repro queries                       # list the Table 3 query library
+    repro generate --out t.trace ...    # synthesize an attacked workload
+    repro stats t.trace                 # structural summary of a trace
+    repro plan --trace t.trace -q ddos --mode sonata
+    repro run  --trace t.trace -q ddos --mode sonata
+    repro loc                           # regenerate Table 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.packets.stats import summarize
+from repro.packets.trace import Trace
+from repro.utils.iputil import format_ip
+
+
+def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", required=True, help="path to a .trace file")
+
+
+def _add_query_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-q",
+        "--queries",
+        default="",
+        help="comma-separated names from the query library (see `repro queries`)",
+    )
+    parser.add_argument(
+        "--query-file",
+        default=None,
+        help="JSON file with a custom query (or a list of queries) in the "
+        "repro.core.serialize format",
+    )
+    parser.add_argument(
+        "--mode",
+        default="sonata",
+        choices=["sonata", "max_dp", "filter_dp", "all_sp", "fix_ref"],
+    )
+    parser.add_argument("--window", type=float, default=3.0)
+    parser.add_argument("--time-limit", type=float, default=30.0)
+
+
+def _load_queries(spec: str, window: float, query_file: str | None = None):
+    from repro.queries.library import QUERY_LIBRARY, build_queries
+
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    unknown = [n for n in names if n not in QUERY_LIBRARY]
+    if unknown:
+        raise SystemExit(
+            f"unknown queries: {', '.join(unknown)}; run `repro queries`"
+        )
+    queries = build_queries(names, window=window)
+    if query_file:
+        from repro.core.serialize import query_from_dict
+
+        with open(query_file) as fh:
+            payload = json.load(fh)
+        if isinstance(payload, dict):
+            payload = [payload]
+        for data in payload:
+            data = dict(data)
+            data["qid"] = len(queries) + 1
+            data.setdefault("window", window)
+            query = query_from_dict(data)
+            queries.append(query)
+            names.append(query.name)
+    if not queries:
+        raise SystemExit("pass -q and/or --query-file")
+    return names, queries
+
+
+def cmd_queries(args: argparse.Namespace) -> int:
+    from repro.queries.library import QUERY_LIBRARY
+
+    print(f"{'#':>2}  {'name':28} {'title':26} refinement-key  thresholds")
+    for spec in QUERY_LIBRARY.values():
+        thresholds = ", ".join(f"{k}={v}" for k, v in spec.defaults.items())
+        print(
+            f"{spec.number:>2}  {spec.name:28} {spec.title:26} "
+            f"{spec.victim_field:14}  {thresholds}"
+        )
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.evaluation.workloads import build_workload
+
+    names, _ = _load_queries(args.queries, args.window) if args.queries else ([], [])
+    if names:
+        workload = build_workload(
+            names, duration=args.duration, pps=args.pps, seed=args.seed
+        )
+        trace = workload.trace
+        for name, victim in workload.victims.items():
+            print(f"planted {name}: victim {format_ip(victim)}")
+    else:
+        from repro.packets.generator import BackboneConfig, generate_backbone
+
+        trace = generate_backbone(
+            BackboneConfig(duration=args.duration, pps=args.pps, seed=args.seed)
+        )
+    trace.save(args.out)
+    print(f"wrote {trace} to {args.out}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    trace = Trace.load(args.trace_file)
+    print(summarize(trace).describe())
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    from repro.planner import QueryPlanner
+
+    trace = Trace.load(args.trace)
+    names, queries = _load_queries(args.queries, args.window, args.query_file)
+    planner = QueryPlanner(
+        queries, trace, window=args.window, time_limit=args.time_limit
+    )
+    plan = planner.plan(args.mode)
+    if args.json:
+        payload = {
+            "mode": plan.mode,
+            "est_total_tuples_per_window": plan.est_total_tuples,
+            "queries": {
+                qplan.query.name: {
+                    "path": list(qplan.path),
+                    "delay_windows": qplan.detection_delay_windows,
+                    "instances": [
+                        {
+                            "key": inst.key,
+                            "cut": inst.cut,
+                            "est_tuples": inst.est_tuples,
+                            "stages": inst.stage_assignment,
+                        }
+                        for inst in qplan.instances
+                    ],
+                }
+                for qplan in plan.query_plans.values()
+            },
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        print(plan.describe())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.planner import QueryPlanner
+    from repro.queries.library import QUERY_LIBRARY
+    from repro.runtime import SonataRuntime
+
+    trace = Trace.load(args.trace)
+    names, queries = _load_queries(args.queries, args.window, args.query_file)
+    planner = QueryPlanner(
+        queries, trace, window=args.window, time_limit=args.time_limit
+    )
+    plan = planner.plan(args.mode)
+    report = SonataRuntime(plan).run(trace)
+    print("window  packets  tuples->SP  detections")
+    for window in report.windows:
+        labels = []
+        for qid, name in enumerate(names, start=1):
+            spec = QUERY_LIBRARY.get(name)
+            fld = spec.victim_field if spec else "ipv4.dIP"
+            for row in window.detections.get(qid, []):
+                value = row.get(fld)
+                labels.append(
+                    f"{name}:{format_ip(value) if isinstance(value, int) else value}"
+                )
+        print(
+            f"{window.index:>6}  {window.packets:>7}  {window.total_tuples:>10}  "
+            + (", ".join(labels) or "-")
+        )
+    print(
+        f"total: {report.total_tuples} tuples for "
+        f"{sum(w.packets for w in report.windows)} packets ({plan.mode})"
+    )
+    return 0
+
+
+def cmd_loc(args: argparse.Namespace) -> int:
+    from repro.evaluation.loc import table3_loc
+
+    print(f"{'#':>2} {'query':28} {'sonata':>6} {'p4':>6} {'spark':>6}")
+    for row in table3_loc():
+        print(
+            f"{row.number:>2} {row.name:28} {row.sonata:>6} {row.p4:>6} "
+            f"{row.spark:>6}"
+        )
+    return 0
+
+
+def _print_table(headers, rows):
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+
+
+def cmd_reproduce_impl(args: argparse.Namespace) -> int:
+    name = args.experiment
+    if name == "fig3":
+        from repro.planner.collisions import chain_overflow_rate
+
+        rows = []
+        for ratio in (0.0, 0.5, 1.0, 1.5, 2.0):
+            k = int(512 * ratio)
+            rows.append(
+                [f"{ratio:.1f}"]
+                + [f"{chain_overflow_rate(512, k, d):.3f}" for d in (1, 2, 3, 4)]
+            )
+        _print_table(["k/n", "d=1", "d=2", "d=3", "d=4"], rows)
+    elif name == "table3":
+        return cmd_loc(args)
+    elif name == "overhead":
+        from repro.switch.config import SwitchConfig
+
+        config = SwitchConfig.paper_default()
+        rows = [
+            [n, f"{config.update_cost_seconds(n) * 1000:.1f} ms"]
+            for n in (10, 50, 100, 200, 400)
+        ]
+        _print_table(["filter entries", "update + register reset"], rows)
+    elif name == "fig9":
+        from repro.evaluation.casestudy import figure9_case_study
+
+        result = figure9_case_study()
+        print(result.describe())
+    elif name == "fig5":
+        from repro.evaluation.workloads import build_workload
+        from repro.planner.costs import CostEstimator
+        from repro.planner.refinement import ROOT_LEVEL, RefinementSpec
+        from repro.queries.library import build_query
+
+        workload = build_workload(
+            ["newly_opened_tcp_conns"], duration=12.0, pps=2_000, seed=7
+        )
+        query = build_query("newly_opened_tcp_conns", qid=1)
+        costs = CostEstimator(
+            [query], workload.trace, window=3.0,
+            refinement_specs={1: RefinementSpec("ipv4.dIP", (8, 16, 24, 32))},
+        ).estimate()[1]
+        rows = []
+        for (r1, r2), per_sub in sorted(costs.transitions.items()):
+            tc = per_sub[0]
+            cuts = tc.cut_options()
+            bits = sum(t.register_bits for t in tc.sized_tables if t.stateful)
+            rows.append(
+                [
+                    ("*" if r1 == ROOT_LEVEL else r1),
+                    r2,
+                    f"{tc.cost_of(1).n_tuples:.0f}",
+                    f"{tc.cost_of(cuts[-1]).n_tuples:.0f}",
+                    f"{bits // 1000} Kb",
+                ]
+            )
+        _print_table(["from", "to", "N (filter cut)", "N (full cut)", "B"], rows)
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown experiment {name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sonata reproduction: query-driven streaming telemetry",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("queries", help="list the query library").set_defaults(
+        func=cmd_queries
+    )
+
+    generate = sub.add_parser("generate", help="synthesize a workload trace")
+    generate.add_argument("--out", required=True)
+    generate.add_argument("--duration", type=float, default=18.0)
+    generate.add_argument("--pps", type=float, default=3_000.0)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--window", type=float, default=3.0)
+    generate.add_argument(
+        "-q", "--queries", default="",
+        help="plant attacks for these queries (comma-separated; empty = clean)",
+    )
+    generate.set_defaults(func=cmd_generate)
+
+    stats = sub.add_parser("stats", help="summarize a trace file")
+    stats.add_argument("trace_file")
+    stats.set_defaults(func=cmd_stats)
+
+    plan = sub.add_parser("plan", help="plan queries against a trace")
+    _add_trace_arg(plan)
+    _add_query_args(plan)
+    plan.add_argument("--json", action="store_true")
+    plan.set_defaults(func=cmd_plan)
+
+    run = sub.add_parser("run", help="plan and execute end to end")
+    _add_trace_arg(run)
+    _add_query_args(run)
+    run.set_defaults(func=cmd_run)
+
+    sub.add_parser("loc", help="regenerate the Table 3 LoC comparison").set_defaults(
+        func=cmd_loc
+    )
+
+    reproduce = sub.add_parser(
+        "reproduce",
+        help="regenerate a paper artifact (heavier sweeps live in benchmarks/)",
+    )
+    reproduce.add_argument(
+        "experiment", choices=["table3", "fig3", "fig5", "fig9", "overhead"]
+    )
+    reproduce.set_defaults(func=cmd_reproduce_impl)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

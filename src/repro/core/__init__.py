@@ -1,0 +1,61 @@
+"""Sonata's unified query interface (Section 2 of the paper).
+
+The central abstraction is :class:`repro.core.query.PacketStream`: a
+declarative dataflow over packet tuples with ``filter``, ``map``, ``reduce``,
+``distinct`` and ``join`` operators. Queries built here are target-agnostic;
+the planner decides which prefix of each (sub-)query runs on the switch and
+which suffix runs at the stream processor.
+"""
+
+from repro.core.errors import (
+    CompilationError,
+    PlanningError,
+    QueryValidationError,
+    ReproError,
+    ResourceExhaustedError,
+)
+from repro.core.expressions import (
+    Const,
+    FieldRef,
+    Prefixed,
+    Quantized,
+    Ratio,
+    Difference,
+)
+from repro.core.operators import (
+    Distinct,
+    Filter,
+    Join,
+    Map,
+    Operator,
+    Predicate,
+    Reduce,
+)
+from repro.core.query import PacketStream, Query, SubQuery
+from repro.core.serialize import query_from_dict, query_to_dict
+
+__all__ = [
+    "PacketStream",
+    "Query",
+    "SubQuery",
+    "Operator",
+    "Filter",
+    "Map",
+    "Reduce",
+    "Distinct",
+    "Join",
+    "Predicate",
+    "FieldRef",
+    "Const",
+    "Prefixed",
+    "Quantized",
+    "Ratio",
+    "Difference",
+    "query_to_dict",
+    "query_from_dict",
+    "ReproError",
+    "QueryValidationError",
+    "CompilationError",
+    "PlanningError",
+    "ResourceExhaustedError",
+]

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the Sonata reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers embedding the library can catch one type. Subclasses separate the
+three phases where things go wrong: query construction, compilation to a
+target, and query planning / plan installation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class QueryValidationError(ReproError):
+    """A query is malformed: unknown field, bad operator composition, etc."""
+
+
+class CompilationError(ReproError):
+    """An operator (or query) cannot be compiled to the requested target."""
+
+
+class PlanningError(ReproError):
+    """The query planner failed to produce a plan (infeasible ILP, etc.)."""
+
+
+class ResourceExhaustedError(ReproError):
+    """A data-plane resource constraint (S, A, B, M) was violated at install."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file or pcap stream is malformed or unsupported."""

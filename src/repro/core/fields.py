@@ -1,0 +1,210 @@
+"""The packet-field registry: Sonata's extensible tuple abstraction (§2.1).
+
+Packet headers naturally form key-value tuples; this module is the single
+source of truth for which fields exist, how wide they are, whether a
+programmable switch can parse them, which column of the columnar trace
+stores them, and whether they are *hierarchical* (and therefore usable as
+dynamic-refinement keys, §4.1).
+
+New fields can be registered at runtime — mirroring the paper's "extensible
+tuple abstraction" in which operators extend the parser with custom P4 —
+and every downstream component (query validation, the switch parser, the
+P4 generator, the columnar engine) picks them up automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import QueryValidationError
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Static description of one packet field.
+
+    Attributes:
+        name: Dotted query-facing name, e.g. ``"ipv4.dIP"``.
+        width: Width in bits as seen by the switch (used for metadata and
+            register sizing). For variable-length fields (payload, DNS
+            names) this is the width of the digest the switch would carry.
+        column: Column name in the columnar trace that stores the field.
+        kind: ``"int"``, ``"str"`` or ``"bytes"`` — the Python-side type.
+        switch_parseable: Whether a PISA parser can extract the field.
+            Payload contents cannot be parsed at line rate, so queries
+            touching them are pinned to the stream processor from the first
+            operator that needs them.
+        hierarchy: Refinement levels, coarsest → finest, when the field has
+            hierarchical structure (e.g. IPv4 prefixes, DNS label depth).
+            Empty tuple means the field cannot serve as a refinement key.
+        protocol: Header the field belongs to (``"ipv4"``, ``"tcp"``, ...);
+            used by the parser model to account parse-graph depth.
+    """
+
+    name: str
+    width: int
+    column: str
+    kind: str = "int"
+    switch_parseable: bool = True
+    hierarchy: tuple[int, ...] = ()
+    protocol: str = "meta"
+
+    @property
+    def hierarchical(self) -> bool:
+        return bool(self.hierarchy)
+
+
+class FieldRegistry:
+    """Mutable registry of :class:`FieldSpec` keyed by dotted name."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, FieldSpec] = {}
+
+    def register(self, spec: FieldSpec) -> FieldSpec:
+        if spec.name in self._specs:
+            raise QueryValidationError(f"field already registered: {spec.name}")
+        if spec.width <= 0:
+            raise QueryValidationError(f"field {spec.name} has non-positive width")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> FieldSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            known = ", ".join(sorted(self._specs))
+            raise QueryValidationError(
+                f"unknown packet field {name!r}; known fields: {known}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def names(self) -> list[str]:
+        return sorted(self._specs)
+
+    def specs(self) -> list[FieldSpec]:
+        return [self._specs[name] for name in sorted(self._specs)]
+
+    def columns(self) -> dict[str, str]:
+        """Map dotted field name -> trace column name."""
+        return {spec.name: spec.column for spec in self._specs.values()}
+
+
+#: The default registry with the fields used by the Table 3 queries.
+FIELDS = FieldRegistry()
+
+# -- metadata / frame-level ------------------------------------------------
+FIELDS.register(FieldSpec("ts", 64, "ts", kind="int", protocol="meta"))
+FIELDS.register(FieldSpec("pktlen", 16, "pktlen", protocol="meta"))
+
+# -- IPv4 ------------------------------------------------------------------
+_IPV4_LEVELS = tuple(range(4, 33, 4))  # /4, /8, ..., /32
+FIELDS.register(
+    FieldSpec("ipv4.sIP", 32, "sip", hierarchy=_IPV4_LEVELS, protocol="ipv4")
+)
+FIELDS.register(
+    FieldSpec("ipv4.dIP", 32, "dip", hierarchy=_IPV4_LEVELS, protocol="ipv4")
+)
+FIELDS.register(FieldSpec("ipv4.proto", 8, "proto", protocol="ipv4"))
+FIELDS.register(FieldSpec("ipv4.ttl", 8, "ttl", protocol="ipv4"))
+
+# -- TCP -------------------------------------------------------------------
+FIELDS.register(FieldSpec("tcp.sPort", 16, "sport", protocol="tcp"))
+FIELDS.register(FieldSpec("tcp.dPort", 16, "dport", protocol="tcp"))
+FIELDS.register(FieldSpec("tcp.flags", 8, "tcpflags", protocol="tcp"))
+
+# -- UDP (shares the port columns with TCP, as in a 5-tuple trace) ---------
+FIELDS.register(FieldSpec("udp.sPort", 16, "sport", protocol="udp"))
+FIELDS.register(FieldSpec("udp.dPort", 16, "dport", protocol="udp"))
+
+# -- DNS -------------------------------------------------------------------
+# dns.rr.name is hierarchical by label depth: level 1 = TLD, 2 = second-level
+# domain, ... (the paper: "a fully-qualified domain name is the finest
+# refinement level and the root domain is the coarsest").
+FIELDS.register(
+    FieldSpec(
+        "dns.rr.name",
+        64,
+        "dns_name_id",
+        kind="str",
+        hierarchy=(1, 2, 3, 4),
+        protocol="dns",
+    )
+)
+FIELDS.register(FieldSpec("dns.qtype", 16, "dns_qtype", protocol="dns"))
+FIELDS.register(FieldSpec("dns.ancount", 16, "dns_ancount", protocol="dns"))
+FIELDS.register(FieldSpec("dns.qr", 1, "dns_qr", protocol="dns"))
+
+# -- payload ---------------------------------------------------------------
+# The packet payload cannot be parsed by a PISA switch at line rate; any
+# operator touching it (e.g. Query 3's ``payload.contains('zorro')``) is
+# pinned to the stream processor.
+FIELDS.register(
+    FieldSpec(
+        "payload",
+        0x800,
+        "payload_id",
+        kind="bytes",
+        switch_parseable=False,
+        protocol="payload",
+    )
+)
+
+
+#: TCP flag bit values, for readability in queries.
+TCP_FIN = 0x01
+TCP_SYN = 0x02
+TCP_RST = 0x04
+TCP_PSH = 0x08
+TCP_ACK = 0x10
+TCP_SYNACK = TCP_SYN | TCP_ACK
+
+#: IP protocol numbers.
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+
+def coarsen_value(spec: FieldSpec, value: int | str, level: int) -> int | str:
+    """Coarsen ``value`` of a hierarchical field to refinement ``level``.
+
+    For IPv4 fields this masks to a /level prefix; for DNS names it keeps
+    the last ``level`` labels. Raises if the field is not hierarchical.
+    """
+    if not spec.hierarchical:
+        raise QueryValidationError(f"field {spec.name} is not hierarchical")
+    if spec.kind == "int":
+        if not 0 <= level <= spec.width:
+            raise QueryValidationError(
+                f"refinement level {level} out of range for {spec.name}"
+            )
+        if level == 0:
+            return 0
+        mask = ((1 << level) - 1) << (spec.width - level)
+        return int(value) & mask
+    if spec.kind == "str":
+        labels = [label for label in str(value).split(".") if label]
+        if level <= 0:
+            return "."
+        return ".".join(labels[-level:]) if labels else "."
+    raise QueryValidationError(f"cannot coarsen field of kind {spec.kind}")
+
+
+_REGISTRY_DEFAULT = FIELDS
+
+__all__ = [
+    "FieldSpec",
+    "FieldRegistry",
+    "FIELDS",
+    "coarsen_value",
+    "TCP_FIN",
+    "TCP_SYN",
+    "TCP_RST",
+    "TCP_PSH",
+    "TCP_ACK",
+    "TCP_SYNACK",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+]

@@ -1,0 +1,25 @@
+"""Evaluation harnesses that regenerate every table and figure of §6."""
+
+from repro.evaluation.workloads import Workload, build_workload
+from repro.evaluation.measure import evaluate_plan, PlanMeasurement
+from repro.evaluation.loc import table3_loc, sonata_loc
+from repro.evaluation.sweeps import (
+    figure7a_single_query,
+    figure7b_multi_query,
+    figure8_constraints,
+)
+from repro.evaluation.casestudy import figure9_case_study, CaseStudyResult
+
+__all__ = [
+    "Workload",
+    "build_workload",
+    "evaluate_plan",
+    "PlanMeasurement",
+    "table3_loc",
+    "sonata_loc",
+    "figure7a_single_query",
+    "figure7b_multi_query",
+    "figure8_constraints",
+    "figure9_case_study",
+    "CaseStudyResult",
+]

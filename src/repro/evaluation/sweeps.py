@@ -1,0 +1,173 @@
+"""Figure 7 and Figure 8 drivers: stream-processor load across plans.
+
+All sweeps share a single trace-driven cost estimation (the measurements
+N_{q,t}/B_{q,t} do not depend on the switch envelope, only the ILP's
+constraints do), so regenerating the four Figure 8 panels solves many
+small ILPs over one set of measurements — the same structure as the
+paper's methodology of emulating each baseline by constraining one ILP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from repro.core.query import Query
+from repro.evaluation.measure import PlanMeasurement, evaluate_plan
+from repro.evaluation.workloads import Workload, build_workload
+from repro.planner.costs import CostEstimator, QueryCosts
+from repro.planner.ilp import PlanILP
+from repro.queries.library import TOP8, build_queries
+from repro.switch.config import MB, KB, SwitchConfig
+
+ALL_MODES: tuple[str, ...] = ("all_sp", "filter_dp", "max_dp", "fix_ref", "sonata")
+
+
+@dataclass
+class SweepContext:
+    """Shared workload, queries and cost estimates for all sweeps."""
+
+    queries: list[Query]
+    workload: Workload
+    costs: dict[int, QueryCosts]
+    window: float
+    time_limit: float = 30.0
+    mip_gap: float = 0.02
+    #: Windows skipped when totalling tuples: refinement pipelines need
+    #: |path| windows to fill; steady state is what Figure 7/8 compare.
+    warmup_windows: int = 4
+
+    @staticmethod
+    def build(
+        names: "tuple[str, ...] | list[str]" = TOP8,
+        duration: float = 18.0,
+        pps: float = 3_000.0,
+        window: float = 3.0,
+        max_levels: int = 4,
+        seed: int = 7,
+        time_limit: float = 30.0,
+    ) -> "SweepContext":
+        queries = build_queries(list(names), window=window)
+        workload = build_workload(list(names), duration=duration, pps=pps, seed=seed)
+        estimator = CostEstimator(
+            queries, workload.trace, window=window, max_levels=max_levels
+        )
+        return SweepContext(
+            queries=queries,
+            workload=workload,
+            costs=estimator.estimate(),
+            window=window,
+            time_limit=time_limit,
+        )
+
+    def plan(
+        self,
+        mode: str,
+        config: SwitchConfig,
+        qids: "Iterable[int] | None" = None,
+    ):
+        costs = self.costs
+        if qids is not None:
+            wanted = set(qids)
+            costs = {qid: qc for qid, qc in costs.items() if qid in wanted}
+        ilp = PlanILP(
+            costs=costs,
+            config=config,
+            mode=mode,
+            time_limit=self.time_limit,
+            mip_gap=self.mip_gap,
+        )
+        return ilp.solve()
+
+    def measure(self, plan) -> PlanMeasurement:
+        return evaluate_plan(plan, self.workload.trace, self.window)
+
+
+def figure7a_single_query(
+    context: SweepContext | None = None,
+    config: SwitchConfig | None = None,
+    modes: tuple[str, ...] = ALL_MODES,
+) -> dict[str, dict[str, int]]:
+    """Figure 7a: per-query tuples at the SP, one query at a time.
+
+    Returns ``{query_name: {mode: total_tuples}}``.
+    """
+    context = context or SweepContext.build()
+    config = config or SwitchConfig.paper_default()
+    out: dict[str, dict[str, int]] = {}
+    for query in context.queries:
+        row: dict[str, int] = {}
+        for mode in modes:
+            plan = context.plan(mode, config, qids=[query.qid])
+            row[mode] = context.measure(plan).total_tuples(
+                skip_windows=context.warmup_windows
+            )
+        out[query.name] = row
+    return out
+
+
+def figure7b_multi_query(
+    context: SweepContext | None = None,
+    config: SwitchConfig | None = None,
+    modes: tuple[str, ...] = ALL_MODES,
+) -> dict[int, dict[str, int]]:
+    """Figure 7b: total tuples vs number of concurrent queries.
+
+    Returns ``{n_queries: {mode: total_tuples}}``.
+    """
+    context = context or SweepContext.build()
+    config = config or SwitchConfig.paper_default()
+    out: dict[int, dict[str, int]] = {}
+    for k in range(1, len(context.queries) + 1):
+        qids = [q.qid for q in context.queries[:k]]
+        row: dict[str, int] = {}
+        for mode in modes:
+            plan = context.plan(mode, config, qids=qids)
+            row[mode] = context.measure(plan).total_tuples(
+                skip_windows=context.warmup_windows
+            )
+        out[k] = row
+    return out
+
+
+#: The parameter grids of Figure 8 (a)–(d).
+FIGURE8_SWEEPS: dict[str, tuple] = {
+    "stages": (1, 2, 4, 8, 12, 16, 32),
+    "stateful_actions_per_stage": (1, 2, 4, 8, 12, 16, 32),
+    "register_bits_per_stage": tuple(
+        int(x * MB) for x in (0.5, 1, 2, 4, 8, 12, 16, 32)
+    ),
+    "metadata_bits": tuple(int(x * 8 * KB) for x in (0.25, 0.5, 1.0, 2.0, 4.0, 8.0)),
+}
+
+
+def figure8_constraints(
+    context: SweepContext | None = None,
+    base: SwitchConfig | None = None,
+    modes: tuple[str, ...] = ("max_dp", "fix_ref", "sonata"),
+    sweeps: "dict[str, tuple] | None" = None,
+) -> dict[str, dict[object, dict[str, int]]]:
+    """Figure 8: vary one switch constraint at a time.
+
+    Returns ``{parameter: {value: {mode: total_tuples}}}``.
+    """
+    context = context or SweepContext.build()
+    base = base or SwitchConfig.paper_default()
+    sweeps = sweeps or FIGURE8_SWEEPS
+    out: dict[str, dict[object, dict[str, int]]] = {}
+    for parameter, values in sweeps.items():
+        column: dict[object, dict[str, int]] = {}
+        for value in values:
+            overrides = {parameter: value}
+            if parameter == "register_bits_per_stage":
+                overrides["max_single_register_bits"] = max(value // 2, 1)
+            config = replace(base, **overrides)
+            row: dict[str, int] = {}
+            for mode in modes:
+                plan = context.plan(mode, config)
+                row[mode] = context.measure(plan).total_tuples(
+                    skip_windows=context.warmup_windows
+                )
+            column[value] = row
+        out[parameter] = column
+    return out

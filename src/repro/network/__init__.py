@@ -1,0 +1,21 @@
+"""Network-wide telemetry across multiple switches (§8 future work).
+
+The paper compiles each query to a single switch and names network-wide
+execution — e.g. heavy-hitter detection over traffic that enters at many
+border switches — as the first piece of future work. This package
+implements the natural extension: each switch runs the same partitioned
+query *without* its final threshold, a central collector merges the
+per-switch partial aggregates, and the threshold is applied to the
+network-wide totals, so a key whose traffic is spread thinly across
+ingresses is still caught.
+"""
+
+from repro.network.topology import Topology, hash_ingress
+from repro.network.runtime import NetworkRuntime, NetworkWindowReport
+
+__all__ = [
+    "Topology",
+    "hash_ingress",
+    "NetworkRuntime",
+    "NetworkWindowReport",
+]

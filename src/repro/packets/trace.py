@@ -1,0 +1,275 @@
+"""Columnar packet traces.
+
+A :class:`Trace` stores packets in a numpy structured array plus two side
+tables (DNS names and payload bytes, both referenced by integer id). The
+columnar layout is what makes the planner's trace-driven cost estimation
+(Section 3.3: the planner "applies all of the packets in the historical
+traces to each query") fast enough in pure Python; the per-packet engines
+iterate over the same storage through :meth:`Trace.packets`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import TraceFormatError
+from repro.core.fields import FIELDS, FieldRegistry
+from repro.packets.packet import DNSInfo, Packet
+
+#: Columnar layout. dns_name_id / payload_id are -1 when absent.
+TRACE_DTYPE = np.dtype(
+    [
+        ("ts", np.float64),
+        ("pktlen", np.uint16),
+        ("proto", np.uint8),
+        ("sip", np.uint32),
+        ("dip", np.uint32),
+        ("sport", np.uint16),
+        ("dport", np.uint16),
+        ("tcpflags", np.uint8),
+        ("ttl", np.uint8),
+        ("dns_qtype", np.uint16),
+        ("dns_ancount", np.uint16),
+        ("dns_qr", np.uint8),
+        ("dns_name_id", np.int32),
+        ("payload_id", np.int32),
+    ]
+)
+
+_MAGIC = b"SONTRACE"
+_VERSION = 2
+
+
+class Trace:
+    """An ordered packet trace in columnar form."""
+
+    def __init__(
+        self,
+        array: np.ndarray,
+        qnames: list[str] | None = None,
+        payloads: list[bytes] | None = None,
+    ) -> None:
+        if array.dtype != TRACE_DTYPE:
+            raise TraceFormatError(
+                f"trace array has dtype {array.dtype}, expected TRACE_DTYPE"
+            )
+        self.array = array
+        self.qnames: list[str] = qnames if qnames is not None else []
+        self.payloads: list[bytes] = payloads if payloads is not None else []
+
+    # -- basics ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.array)
+
+    @property
+    def duration(self) -> float:
+        if len(self.array) == 0:
+            return 0.0
+        return float(self.array["ts"][-1] - self.array["ts"][0])
+
+    @property
+    def start_ts(self) -> float:
+        return float(self.array["ts"][0]) if len(self.array) else 0.0
+
+    def column(self, field_name: str) -> np.ndarray:
+        """Return the column for a dotted query-field name."""
+        spec = FIELDS.get(field_name)
+        return self.array[spec.column]
+
+    def columns(self, registry: FieldRegistry = FIELDS) -> dict[str, np.ndarray]:
+        """All registered fields as a name -> column mapping (views)."""
+        return {name: self.array[registry.get(name).column] for name in registry.names()}
+
+    def side_tables(self) -> dict[str, list]:
+        return {"payloads": self.payloads, "qnames": self.qnames}
+
+    # -- construction ------------------------------------------------------
+    @staticmethod
+    def empty() -> "Trace":
+        return Trace(np.empty(0, dtype=TRACE_DTYPE))
+
+    @staticmethod
+    def from_packets(packets: "list[Packet] | Iterator[Packet]") -> "Trace":
+        packets = list(packets)
+        array = np.zeros(len(packets), dtype=TRACE_DTYPE)
+        qnames: list[str] = []
+        qname_ids: dict[str, int] = {}
+        payloads: list[bytes] = []
+        array["dns_name_id"] = -1
+        array["payload_id"] = -1
+        for i, pkt in enumerate(packets):
+            row = array[i]
+            row["ts"] = pkt.ts
+            row["pktlen"] = pkt.pktlen
+            row["proto"] = pkt.proto
+            row["sip"] = pkt.sip
+            row["dip"] = pkt.dip
+            row["sport"] = pkt.sport
+            row["dport"] = pkt.dport
+            row["tcpflags"] = pkt.tcpflags
+            row["ttl"] = pkt.ttl
+            if pkt.dns is not None:
+                row["dns_qtype"] = pkt.dns.qtype
+                row["dns_ancount"] = pkt.dns.ancount
+                row["dns_qr"] = pkt.dns.qr
+                if pkt.dns.qname:
+                    if pkt.dns.qname not in qname_ids:
+                        qname_ids[pkt.dns.qname] = len(qnames)
+                        qnames.append(pkt.dns.qname)
+                    row["dns_name_id"] = qname_ids[pkt.dns.qname]
+            if pkt.payload is not None:
+                row["payload_id"] = len(payloads)
+                payloads.append(pkt.payload)
+        return Trace(array, qnames, payloads)
+
+    def packet(self, index: int) -> Packet:
+        """Materialize packet ``index`` as a :class:`Packet`."""
+        row = self.array[index]
+        dns = None
+        if row["dns_name_id"] >= 0 or row["dns_qr"] or row["dns_ancount"] or row["dns_qtype"]:
+            qname = self.qnames[row["dns_name_id"]] if row["dns_name_id"] >= 0 else ""
+            dns = DNSInfo(
+                qname=qname,
+                qtype=int(row["dns_qtype"]),
+                ancount=int(row["dns_ancount"]),
+                qr=int(row["dns_qr"]),
+            )
+        payload = (
+            self.payloads[row["payload_id"]] if row["payload_id"] >= 0 else None
+        )
+        return Packet(
+            ts=float(row["ts"]),
+            pktlen=int(row["pktlen"]),
+            proto=int(row["proto"]),
+            sip=int(row["sip"]),
+            dip=int(row["dip"]),
+            sport=int(row["sport"]),
+            dport=int(row["dport"]),
+            tcpflags=int(row["tcpflags"]),
+            ttl=int(row["ttl"]),
+            dns=dns,
+            payload=payload,
+        )
+
+    def packets(self) -> Iterator[Packet]:
+        """Iterate packets in order (materializing each)."""
+        for i in range(len(self.array)):
+            yield self.packet(i)
+
+    # -- transformation ----------------------------------------------------
+    def sorted_by_time(self) -> "Trace":
+        order = np.argsort(self.array["ts"], kind="stable")
+        return Trace(self.array[order], self.qnames, self.payloads)
+
+    def slice(self, mask_or_indices: np.ndarray) -> "Trace":
+        """Row-subset view; side tables are shared (ids stay valid)."""
+        return Trace(self.array[mask_or_indices], self.qnames, self.payloads)
+
+    def time_range(self, start: float, end: float) -> "Trace":
+        ts = self.array["ts"]
+        return self.slice((ts >= start) & (ts < end))
+
+    def windows(self, width: float, origin: float | None = None) -> Iterator[tuple[float, "Trace"]]:
+        """Yield ``(window_start, sub_trace)`` tumbling windows of ``width``.
+
+        Windows are aligned to ``origin`` (default: trace start). Empty
+        trailing windows are not emitted; empty interior windows are, so
+        the runtime sees every window boundary.
+        """
+        if width <= 0:
+            raise ValueError("window width must be positive")
+        if len(self.array) == 0:
+            return
+        ts = self.array["ts"]
+        base = float(ts[0]) if origin is None else origin
+        last = float(ts[-1])
+        start = base
+        while start <= last:
+            end = start + width
+            yield start, self.time_range(start, end)
+            start = end
+
+    @staticmethod
+    def merge(traces: "list[Trace]") -> "Trace":
+        """Concatenate traces, remap side-table ids, and sort by time."""
+        traces = [t for t in traces if len(t)]
+        if not traces:
+            return Trace.empty()
+        qnames: list[str] = []
+        qname_ids: dict[str, int] = {}
+        payloads: list[bytes] = []
+        arrays = []
+        for trace in traces:
+            array = trace.array.copy()
+            if len(trace.qnames):
+                remap = np.empty(len(trace.qnames), dtype=np.int32)
+                for i, name in enumerate(trace.qnames):
+                    if name not in qname_ids:
+                        qname_ids[name] = len(qnames)
+                        qnames.append(name)
+                    remap[i] = qname_ids[name]
+                has_name = array["dns_name_id"] >= 0
+                array["dns_name_id"][has_name] = remap[array["dns_name_id"][has_name]]
+            if len(trace.payloads):
+                offset = len(payloads)
+                payloads.extend(trace.payloads)
+                has_payload = array["payload_id"] >= 0
+                array["payload_id"][has_payload] += offset
+            arrays.append(array)
+        merged = Trace(np.concatenate(arrays), qnames, payloads)
+        return merged.sorted_by_time()
+
+    # -- persistence --------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Serialize to a compact single-file binary format."""
+        header = {
+            "version": _VERSION,
+            "count": len(self.array),
+            "qnames": self.qnames,
+            "payload_sizes": [len(p) for p in self.payloads],
+        }
+        header_bytes = json.dumps(header).encode("utf-8")
+        with open(path, "wb") as fh:
+            fh.write(_MAGIC)
+            fh.write(struct.pack("<I", len(header_bytes)))
+            fh.write(header_bytes)
+            fh.write(self.array.tobytes())
+            for payload in self.payloads:
+                fh.write(payload)
+
+    @staticmethod
+    def load(path: str) -> "Trace":
+        with open(path, "rb") as fh:
+            magic = fh.read(len(_MAGIC))
+            if magic != _MAGIC:
+                raise TraceFormatError(f"{path}: not a sonata trace file")
+            (header_len,) = struct.unpack("<I", fh.read(4))
+            header = json.loads(fh.read(header_len).decode("utf-8"))
+            if header["version"] != _VERSION:
+                raise TraceFormatError(
+                    f"{path}: unsupported trace version {header['version']}"
+                )
+            count = header["count"]
+            raw = fh.read(count * TRACE_DTYPE.itemsize)
+            if len(raw) != count * TRACE_DTYPE.itemsize:
+                raise TraceFormatError(f"{path}: truncated packet array")
+            array = np.frombuffer(raw, dtype=TRACE_DTYPE).copy()
+            payloads = []
+            for size in header["payload_sizes"]:
+                blob = fh.read(size)
+                if len(blob) != size:
+                    raise TraceFormatError(f"{path}: truncated payload table")
+                payloads.append(blob)
+        return Trace(array, list(header["qnames"]), payloads)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Trace(packets={len(self)}, duration={self.duration:.2f}s, "
+            f"payloads={len(self.payloads)}, qnames={len(self.qnames)})"
+        )

@@ -1,0 +1,37 @@
+"""Sonata's query planner (§3.3–§4).
+
+Pipeline: choose refinement keys and levels (§4.1), estimate per-cut costs
+``N_{q,t}`` / ``B_{q,t}`` on training traces (§3.3), then solve the joint
+partitioning + refinement ILP (Table 2 extended per §4.2) to minimize the
+tuples reaching the stream processor. Table 4's baseline systems (All-SP,
+Filter-DP, Max-DP, Fix-REF) are emulated as constrained variants of the
+same ILP, exactly as the paper does.
+"""
+
+from repro.planner.collisions import chain_overflow_rate, size_register
+from repro.planner.refinement import (
+    RefinementSpec,
+    choose_refinement_spec,
+    augment_operators,
+    filter_table_name,
+)
+from repro.planner.costs import CostEstimator, TransitionCosts
+from repro.planner.plans import InstancePlan, Plan, QueryPlan
+from repro.planner.planner import QueryPlanner, PlanningMode, replan
+
+__all__ = [
+    "chain_overflow_rate",
+    "size_register",
+    "RefinementSpec",
+    "choose_refinement_spec",
+    "augment_operators",
+    "filter_table_name",
+    "CostEstimator",
+    "TransitionCosts",
+    "InstancePlan",
+    "QueryPlan",
+    "Plan",
+    "QueryPlanner",
+    "PlanningMode",
+    "replan",
+]

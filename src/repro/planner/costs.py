@@ -1,0 +1,426 @@
+"""Trace-driven cost estimation for the query planner (§3.3, Figure 5).
+
+For every query, refinement transition ``r_prev -> r`` and candidate cut,
+the estimator replays training windows through the columnar engine and
+records:
+
+- ``N`` — tuples that would reach the stream processor (median/window);
+- ``B`` — register bits each stateful table needs (from the sized
+  :class:`RegisterSpec`, which in turn comes from the median key count);
+- relaxed thresholds per refinement level (§4.1: the minimum aggregated
+  count over keys that satisfy the original query, floored at the original
+  threshold so an empty training window can never relax below it);
+- the level-``r`` output keys per window, which feed the refinement filter
+  of the next-finer level in the following window (pipelined execution).
+
+A key invariant makes per-transition estimation sound: with relaxed
+thresholds, a query's output at level ``r`` is the same whether or not its
+input was pre-filtered by a coarser level's output — coarse levels only
+discard traffic whose finer keys could not satisfy the query anyway.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analytics import execute_query, execute_subquery
+from repro.core.errors import PlanningError
+from repro.core.fields import FIELDS, coarsen_value
+from repro.core.query import Query, SubQuery
+from repro.packets.trace import Trace
+from repro.planner.collisions import chain_overflow_rate, size_register
+from repro.planner.refinement import (
+    ROOT_LEVEL,
+    RefinementSpec,
+    augmented_subquery,
+    can_coarsen,
+    choose_refinement_spec,
+    filter_table_name,
+    trailing_threshold_fields,
+    without_thresholds,
+)
+from repro.streaming.rowops import assemble_join_tree
+from repro.switch.compiler import CompiledSubQuery, compile_subquery
+from repro.switch.config import SwitchConfig
+from repro.switch.tables import LogicalTable
+
+
+def _median(values: list[float]) -> float:
+    if not values:
+        return 0.0
+    return float(statistics.median(values))
+
+
+@dataclass
+class CutCost:
+    """Cost of cutting one sub-query instance after ``cut`` operators."""
+
+    cut: int
+    n_tuples: float  # median tuples/window sent to the stream processor
+    metadata_bits: int
+
+
+@dataclass
+class TransitionCosts:
+    """Costs for one (sub-query, r_prev -> r) instance."""
+
+    qid: int
+    subid: int
+    r_prev: int
+    r_level: int
+    augmented: SubQuery
+    compiled: CompiledSubQuery
+    cuts: list[CutCost]
+    #: Sized tables for the full compilable prefix (registers included).
+    sized_tables: list[LogicalTable]
+    #: Median unique keys per stateful operator index.
+    key_estimates: dict[int, int]
+
+    def cut_options(self) -> list[int]:
+        return [c.cut for c in self.cuts]
+
+    def cost_of(self, cut: int) -> CutCost:
+        for c in self.cuts:
+            if c.cut == cut:
+                return c
+        raise PlanningError(f"no such cut {cut} for {self.augmented.name}")
+
+    def tables_for_cut(self, cut: int) -> list[LogicalTable]:
+        names = {t.name for t in self.compiled.tables_for_partition(cut)}
+        return [t for t in self.sized_tables if t.name in names]
+
+
+@dataclass
+class QueryCosts:
+    """All estimator outputs for one query."""
+
+    query: Query
+    spec: RefinementSpec | None
+    relaxed_thresholds: dict[tuple[int, int], dict[str, int]]  # (subid, level)
+    transitions: dict[tuple[int, int], dict[int, TransitionCosts]]
+    window_packets: float
+    output_keys_per_level: dict[int, float]  # median |output| at each level
+
+    @property
+    def levels(self) -> tuple[int, ...]:
+        if self.spec is None:
+            return (self.native_level,)
+        return self.spec.levels
+
+    @property
+    def native_level(self) -> int:
+        if self.spec is None:
+            return 32
+        return self.spec.finest
+
+
+def _coarse_output_key(row: dict[str, Any], key_field: str, level: int) -> Any:
+    spec = FIELDS.get(key_field)
+    return coarsen_value(spec, row[key_field], level)
+
+
+class CostEstimator:
+    """Estimates planning inputs for a set of queries over a training trace."""
+
+    def __init__(
+        self,
+        queries: list[Query],
+        training_trace: Trace,
+        config: SwitchConfig | None = None,
+        window: float | None = None,
+        max_levels: int = 8,
+        refinement_specs: dict[int, RefinementSpec | None] | None = None,
+        chain_depth: int | None = None,
+        relax_thresholds: bool = True,
+    ) -> None:
+        self.queries = queries
+        self.trace = training_trace
+        self.config = config or SwitchConfig.paper_default()
+        self.window = window if window is not None else (
+            queries[0].window if queries else 3.0
+        )
+        self.max_levels = max_levels
+        self.chain_depth = chain_depth
+        self.relax_thresholds = relax_thresholds
+        self._specs = refinement_specs or {}
+        self._windows: list[Trace] | None = None
+
+    # -- window handling ---------------------------------------------------
+    def windows(self) -> list[Trace]:
+        if self._windows is None:
+            self._windows = [w for _, w in self.trace.windows(self.window)]
+            if not self._windows:
+                raise PlanningError("training trace is empty")
+        return self._windows
+
+    def spec_for(self, query: Query) -> RefinementSpec | None:
+        if query.qid in self._specs:
+            return self._specs[query.qid]
+        return choose_refinement_spec(query, max_levels=self.max_levels)
+
+    # -- main entry ----------------------------------------------------------
+    def estimate(self) -> dict[int, QueryCosts]:
+        return {query.qid: self.estimate_query(query) for query in self.queries}
+
+    def estimate_query(self, query: Query) -> QueryCosts:
+        spec = self.spec_for(query)
+        windows = self.windows()
+        window_packets = _median([float(len(w)) for w in windows])
+
+        native = spec.finest if spec is not None else 32
+        levels = spec.levels if spec is not None else (native,)
+
+        # 1. Ground truth at the native level, per window.
+        native_outputs = [execute_query(query, w) for w in windows]
+
+        # 2. Relaxed thresholds per (subid, level). Disabling relaxation
+        #    (an ablation) keeps the original thresholds at every level —
+        #    always correct, but coarse levels prune less (§4.1).
+        if self.relax_thresholds:
+            relaxed = self._relax_thresholds(query, spec, windows, native_outputs)
+        else:
+            relaxed = {}
+
+        # 3. Per-level full-query outputs (relaxed thresholds, unfiltered
+        #    input) — these keys feed the next-finer level's filter table.
+        feed_keys: dict[int, list[set]] = {}
+        out_sizes: dict[int, float] = {}
+        for level in levels:
+            per_window = [
+                self._level_output_keys(query, spec, level, relaxed, w)
+                for w in windows
+            ]
+            feed_keys[level] = per_window
+            out_sizes[level] = _median([float(len(k)) for k in per_window])
+
+        # 4. Transition costs.
+        transitions: dict[tuple[int, int], dict[int, TransitionCosts]] = {}
+        pairs = (
+            spec.transitions() if spec is not None else [(ROOT_LEVEL, native)]
+        )
+        for r_prev, r_level in pairs:
+            per_sub: dict[int, TransitionCosts] = {}
+            for sq in query.subqueries:
+                if spec is not None and not can_coarsen(sq, spec, r_level):
+                    # Inactive at this (coarse) level: the stateful side
+                    # of the join drives refinement alone (Figure 9).
+                    continue
+                per_sub[sq.subid] = self._transition_costs(
+                    query, sq, spec, r_prev, r_level, relaxed, feed_keys
+                )
+            transitions[(r_prev, r_level)] = per_sub
+
+        return QueryCosts(
+            query=query,
+            spec=spec,
+            relaxed_thresholds=relaxed,
+            transitions=transitions,
+            window_packets=window_packets,
+            output_keys_per_level=out_sizes,
+        )
+
+    # -- pieces ---------------------------------------------------------------
+    def _relax_thresholds(
+        self,
+        query: Query,
+        spec: RefinementSpec | None,
+        windows: list[Trace],
+        native_outputs: list[list[dict]],
+    ) -> dict[tuple[int, int], dict[str, int]]:
+        """Relaxed thresholds per (subid, level); §4.1."""
+        relaxed: dict[tuple[int, int], dict[str, int]] = {}
+        if spec is None:
+            return relaxed
+        key_field = spec.key_field
+        for sq in query.subqueries:
+            thresholds = trailing_threshold_fields(sq)
+            if not thresholds:
+                continue
+            for level in spec.levels:
+                if level == spec.finest:
+                    relaxed[(sq.subid, level)] = dict(thresholds)
+                    continue
+                per_field: dict[str, int] = {}
+                for fld, original in thresholds.items():
+                    minima: list[int] = []
+                    for w, truth in zip(windows, native_outputs):
+                        satisfied = {
+                            _coarse_output_key(row, key_field, level)
+                            for row in truth
+                            if key_field in row
+                        }
+                        if not satisfied:
+                            continue
+                        # Aggregate the sub-query at ``level`` without its
+                        # trailing thresholds, then find the minimum over
+                        # ancestors of satisfying keys.
+                        stripped = without_thresholds(
+                            sq.operators, set(thresholds)
+                        )
+                        coarse = augmented_subquery(
+                            SubQuery(
+                                qid=sq.qid,
+                                subid=sq.subid,
+                                name=f"{sq.name}.relax",
+                                operators=stripped,
+                                window=sq.window,
+                            ),
+                            spec,
+                            ROOT_LEVEL,
+                            level,
+                        )
+                        rows = execute_subquery(coarse, w).rows()
+                        counts = {
+                            row[key_field]: row.get(fld)
+                            for row in rows
+                            if fld in row
+                        }
+                        values = [
+                            counts[k]
+                            for k in satisfied
+                            if counts.get(k) is not None
+                        ]
+                        if values:
+                            minima.append(min(values))
+                    if minima:
+                        per_field[fld] = max(original, min(minima) - 1)
+                    else:
+                        per_field[fld] = original
+                relaxed[(sq.subid, level)] = per_field
+        return relaxed
+
+    def _level_output_keys(
+        self,
+        query: Query,
+        spec: RefinementSpec | None,
+        level: int,
+        relaxed: dict[tuple[int, int], dict[str, int]],
+        window: Trace,
+    ) -> set:
+        """Output keys of the full query executed at ``level`` (unfiltered).
+
+        Sub-queries that cannot be coarsened to ``level`` are inactive and
+        the join tree degrades to the active side (Figure 9 semantics).
+        """
+        if spec is None:
+            rows = execute_query(query, window)
+            return {tuple(sorted(r.items())) for r in rows}
+        leaf_outputs: dict[int, list | None] = {}
+        for sq in query.subqueries:
+            if not can_coarsen(sq, spec, level):
+                leaf_outputs[sq.subid] = None
+                continue
+            coarse = augmented_subquery(
+                sq, spec, ROOT_LEVEL, level, relaxed.get((sq.subid, level))
+            )
+            leaf_outputs[sq.subid] = execute_subquery(coarse, window).rows()
+        rows = assemble_join_tree(query.join_tree, leaf_outputs) or []
+        return {row[spec.key_field] for row in rows if spec.key_field in row}
+
+    def _transition_costs(
+        self,
+        query: Query,
+        sq: SubQuery,
+        spec: RefinementSpec | None,
+        r_prev: int,
+        r_level: int,
+        relaxed: dict[tuple[int, int], dict[str, int]],
+        feed_keys: dict[int, list[set]],
+    ) -> TransitionCosts:
+        windows = self.windows()
+        if spec is None:
+            augmented = sq
+        else:
+            augmented = augmented_subquery(
+                sq, spec, r_prev, r_level, relaxed.get((sq.subid, r_level))
+            )
+        compiled = compile_subquery(augmented)
+        table_name = filter_table_name(query.qid, r_prev)
+
+        rows_after_op: dict[int, list[float]] = {}
+        keys_per_op: dict[int, list[float]] = {}
+        packets_in: list[float] = []
+        for w_index, window in enumerate(windows):
+            tables: dict[str, set] = {}
+            if r_prev != ROOT_LEVEL:
+                source = max(w_index - 1, 0)
+                tables[table_name] = feed_keys[r_prev][source]
+            result = execute_subquery(augmented, window, tables)
+            packets_in.append(float(result.input_rows))
+            for op_index, stat in enumerate(result.stats):
+                rows_after_op.setdefault(op_index, []).append(float(stat.rows_out))
+                if stat.stateful:
+                    keys_per_op.setdefault(op_index, []).append(float(stat.keys))
+
+        key_estimates = {
+            op_index: int(round(_median(values))) or 1
+            for op_index, values in keys_per_op.items()
+        }
+
+        # Size registers once per stateful table from the key estimates.
+        sized: list[LogicalTable] = []
+        for table in compiled.tables:
+            if table.stateful and table.register is not None:
+                estimate = key_estimates.get(table.operator_index, 1)
+                register = size_register(
+                    name=table.register.name,
+                    estimated_keys=estimate,
+                    key_bits=table.register.key_bits,
+                    value_bits=table.register.value_bits,
+                    config=self.config,
+                    d=self.chain_depth,
+                )
+                sized.append(table.sized(register))
+            else:
+                sized.append(table)
+
+        # Expected extra tuples due to register overflow (§3.3: the ILP
+        # "considers both the number of additional packets processed by the
+        # stream processor and the additional switch memory"). Every packet
+        # of an overflowed key is mirrored, so the expected overflow load
+        # of a stateful operator is its overflow *rate* times the packets
+        # entering it.
+        overflow_by_op: dict[int, float] = {}
+        for table in sized:
+            if not table.stateful or table.register is None:
+                continue
+            op_index = table.operator_index
+            keys = key_estimates.get(op_index, 1)
+            rate = chain_overflow_rate(table.register.n_slots, keys, table.register.d)
+            rows_in = _median(
+                rows_after_op.get(op_index - 1, packets_in)
+                if op_index > 0
+                else packets_in
+            )
+            overflow_by_op[op_index] = rate * rows_in
+
+        cuts: list[CutCost] = []
+        for cut in compiled.partition_points():
+            if cut == 0:
+                n_tuples = _median(packets_in)
+            else:
+                n_tuples = _median(rows_after_op.get(cut - 1, [0.0]))
+                n_tuples += sum(
+                    extra for op_i, extra in overflow_by_op.items() if op_i < cut
+                )
+            cuts.append(
+                CutCost(
+                    cut=cut,
+                    n_tuples=n_tuples,
+                    metadata_bits=compiled.metadata_bits(cut),
+                )
+            )
+
+        return TransitionCosts(
+            qid=query.qid,
+            subid=sq.subid,
+            r_prev=r_prev,
+            r_level=r_level,
+            augmented=augmented,
+            compiled=compiled,
+            cuts=cuts,
+            sized_tables=sized,
+            key_estimates=key_estimates,
+        )

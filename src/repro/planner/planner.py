@@ -1,0 +1,352 @@
+"""Planner facade: estimate costs once, then plan under any mode (Table 4).
+
+``QueryPlanner`` wires the pieces together: refinement-spec selection,
+trace-driven cost estimation (shared across modes — emulating a baseline
+never changes the measurements, only the ILP constraints), the MILP solve,
+and a greedy fallback solver used both for cross-validation in tests and
+when the MILP exceeds its time budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Iterable
+
+from repro.core.errors import PlanningError
+from repro.core.query import Query
+from repro.packets.trace import Trace
+from repro.planner.costs import CostEstimator, QueryCosts, TransitionCosts
+from repro.planner.ilp import PlanILP, _leading_filter_count
+from repro.planner.plans import InstancePlan, Plan, QueryPlan
+from repro.planner.refinement import ROOT_LEVEL, filter_table_name
+from repro.switch.config import SwitchConfig
+from repro.switch.simulator import PISASwitch
+
+
+class PlanningMode(str, Enum):
+    """The query plans of Table 4 plus Sonata itself."""
+
+    ALL_SP = "all_sp"  # Gigascope / OpenSOC / NetQRE: mirror everything
+    FILTER_DP = "filter_dp"  # EverFlow: only filters on the switch
+    MAX_DP = "max_dp"  # UnivMon / OpenSketch: max work on switch, no zoom
+    FIX_REF = "fix_ref"  # DREAM: fixed one-level-at-a-time refinement
+    SONATA = "sonata"
+
+
+class QueryPlanner:
+    """Plans a set of queries against one switch using training traffic."""
+
+    def __init__(
+        self,
+        queries: Iterable[Query],
+        training_trace: Trace,
+        config: SwitchConfig | None = None,
+        window: float | None = None,
+        max_levels: int = 4,
+        max_delay: dict[int, int] | None = None,
+        time_limit: float = 60.0,
+        refinement_specs: "dict[int, Any] | None" = None,
+    ) -> None:
+        self.queries = list(queries)
+        if not self.queries:
+            raise PlanningError("no queries to plan")
+        self.config = config or SwitchConfig.paper_default()
+        self.trace = training_trace
+        self.window = window
+        self.max_levels = max_levels
+        self.max_delay = max_delay
+        self.time_limit = time_limit
+        self.refinement_specs = refinement_specs
+        self._costs: dict[int, QueryCosts] | None = None
+
+    # -- cost estimation (shared by all modes) -----------------------------
+    def costs(self) -> dict[int, QueryCosts]:
+        if self._costs is None:
+            estimator = CostEstimator(
+                self.queries,
+                self.trace,
+                config=self.config,
+                window=self.window,
+                max_levels=self.max_levels,
+                refinement_specs=self.refinement_specs,
+            )
+            self._costs = estimator.estimate()
+        return self._costs
+
+    # -- planning -----------------------------------------------------------
+    def plan(
+        self,
+        mode: PlanningMode | str = PlanningMode.SONATA,
+        solver: str = "ilp",
+        verify_install: bool = True,
+    ) -> Plan:
+        """Produce a plan; ``solver`` is ``"ilp"`` or ``"greedy"``."""
+        mode_value = PlanningMode(mode).value
+        if solver == "ilp":
+            ilp = PlanILP(
+                costs=self.costs(),
+                config=self.config,
+                mode=mode_value,
+                max_delay=self.max_delay,
+                time_limit=self.time_limit,
+            )
+            plan = ilp.solve()
+        elif solver == "greedy":
+            plan = GreedyPlanner(self.costs(), self.config, mode_value, self.max_delay).solve()
+        else:
+            raise PlanningError(f"unknown solver {solver!r}")
+        if verify_install:
+            self.verify(plan)
+        return plan
+
+    def verify(self, plan: Plan) -> PISASwitch:
+        """Install the plan on a fresh simulated switch; raises if infeasible.
+
+        This closes the loop between the planner's resource model and the
+        switch's install-time checks: a plan the ILP considers feasible
+        must install cleanly.
+        """
+        switch = PISASwitch(self.config)
+        for inst in plan.all_instances():
+            if not inst.on_switch:
+                continue
+            switch.install(
+                inst.key,
+                inst.compiled,
+                inst.cut,
+                sized_tables=inst.tables,
+                stage_assignment=inst.stage_assignment,
+            )
+        return switch
+
+
+@dataclass
+class _Candidate:
+    """Greedy bookkeeping for one sub-query instance choice."""
+
+    tc: TransitionCosts
+    cut: int
+
+
+class GreedyPlanner:
+    """A resource-aware greedy heuristic for the same planning problem.
+
+    Per query, enumerate refinement paths (bounded by the delay cap) and
+    score each path by the sum over transitions of its cheapest cut
+    assuming sufficient resources; then install queries in ascending-cost
+    order with first-fit stage packing, downgrading cuts when a resource
+    budget is hit. Produces feasible (generally sub-optimal) plans; tests
+    assert the ILP never does worse.
+    """
+
+    def __init__(
+        self,
+        costs: dict[int, QueryCosts],
+        config: SwitchConfig,
+        mode: str = "sonata",
+        max_delay: dict[int, int] | None = None,
+    ) -> None:
+        self.costs = costs
+        self.config = config
+        self.mode = mode
+        self.max_delay = max_delay or {}
+
+    def _paths(self, qc: QueryCosts) -> list[tuple[int, ...]]:
+        levels = qc.levels
+        finest = qc.native_level
+        if qc.spec is None or self.mode in ("all_sp", "filter_dp", "max_dp"):
+            return [(finest,)]
+        if self.mode == "fix_ref":
+            return [tuple(levels)]
+        inner = [r for r in levels if r != finest]
+        cap = self.max_delay.get(qc.query.qid, len(levels))
+        paths: list[tuple[int, ...]] = []
+        for mask in range(1 << len(inner)):
+            chosen = tuple(
+                inner[i] for i in range(len(inner)) if mask & (1 << i)
+            ) + (finest,)
+            if len(chosen) <= cap:
+                paths.append(chosen)
+        return paths
+
+    def _allowed_cuts(self, tc: TransitionCosts) -> list[int]:
+        cuts = tc.cut_options()
+        if self.mode == "all_sp":
+            return [0]
+        if self.mode == "filter_dp":
+            limit = _leading_filter_count(tc)
+            return [c for c in cuts if c <= limit]
+        return cuts
+
+    def _path_cost(self, qc: QueryCosts, path: tuple[int, ...]) -> float:
+        total = 0.0
+        prev = ROOT_LEVEL
+        for level in path:
+            per_sub = qc.transitions[(prev, level)]
+            raw_mirror = False
+            for tc in per_sub.values():
+                cuts = self._allowed_cuts(tc)
+                best = min(
+                    (tc.cost_of(c).n_tuples if c > 0 else float("inf"))
+                    for c in cuts
+                ) if any(c > 0 for c in cuts) else float("inf")
+                zero_cost = qc.window_packets
+                if best == float("inf") or zero_cost < best:
+                    raw_mirror = True
+                else:
+                    total += best
+            if raw_mirror:
+                total += qc.window_packets
+            prev = level
+        return total
+
+    def solve(self) -> Plan:
+        # Rank paths per query, then install greedily on a scratch switch.
+        switch = PISASwitch(self.config)
+        query_plans: dict[int, QueryPlan] = {}
+        total = 0.0
+        for qid, qc in sorted(self.costs.items()):
+            paths = sorted(
+                self._paths(qc), key=lambda p: (self._path_cost(qc, p), len(p))
+            )
+            plan = None
+            for path in paths:
+                plan = self._try_install(switch, qc, path)
+                if plan is not None:
+                    break
+            if plan is None:
+                # Last resort: everything at the stream processor.
+                plan = self._all_sp_plan(qc)
+            query_plans[qid] = plan
+            total += plan.est_tuples_per_window
+        return Plan(
+            mode=self.mode,
+            switch_config=self.config,
+            query_plans=query_plans,
+            est_total_tuples=total,
+            solver_info={"solver": "greedy"},
+        )
+
+    def _try_install(
+        self, switch: PISASwitch, qc: QueryCosts, path: tuple[int, ...]
+    ) -> QueryPlan | None:
+        instances: list[InstancePlan] = []
+        installed_keys: list[str] = []
+        prev = ROOT_LEVEL
+        ok = True
+        for level in path:
+            for subid, tc in qc.transitions[(prev, level)].items():
+                cuts = sorted(self._allowed_cuts(tc), reverse=True)
+                chosen = None
+                for cut in cuts:
+                    if cut == 0:
+                        chosen = 0
+                        break
+                    tables = tc.tables_for_cut(cut)
+                    key = f"greedy-{tc.qid}.{subid}@{prev}-{level}"
+                    try:
+                        switch.install(key, tc.compiled, cut, sized_tables=tables)
+                    except Exception:
+                        continue
+                    installed_keys.append(key)
+                    chosen = cut
+                    break
+                if chosen is None:
+                    ok = False
+                    break
+                inst_switch = switch.instances.get(
+                    f"greedy-{tc.qid}.{subid}@{prev}-{level}"
+                )
+                instances.append(
+                    InstancePlan(
+                        qid=tc.qid,
+                        subid=subid,
+                        r_prev=prev,
+                        r_level=level,
+                        cut=chosen,
+                        augmented=tc.augmented,
+                        compiled=tc.compiled,
+                        tables=tc.tables_for_cut(chosen),
+                        stage_assignment=(
+                            dict(inst_switch.stage_of) if inst_switch else None
+                        ),
+                        residual_ops=tc.compiled.residual_operators(chosen),
+                        est_tuples=tc.cost_of(chosen).n_tuples,
+                        read_filter_table=(
+                            filter_table_name(tc.qid, prev)
+                            if prev != ROOT_LEVEL
+                            else None
+                        ),
+                    )
+                )
+            if not ok:
+                break
+            prev = level
+        if not ok:
+            for key in installed_keys:
+                switch.uninstall(key)
+            return None
+        return QueryPlan(
+            query=qc.query,
+            spec=qc.spec,
+            path=path,
+            instances=instances,
+            relaxed_thresholds=qc.relaxed_thresholds,
+        )
+
+    def _all_sp_plan(self, qc: QueryCosts) -> QueryPlan:
+        finest = qc.native_level
+        instances = []
+        for subid, tc in qc.transitions[(ROOT_LEVEL, finest)].items():
+            instances.append(
+                InstancePlan(
+                    qid=tc.qid,
+                    subid=subid,
+                    r_prev=ROOT_LEVEL,
+                    r_level=finest,
+                    cut=0,
+                    augmented=tc.augmented,
+                    compiled=tc.compiled,
+                    tables=[],
+                    stage_assignment=None,
+                    residual_ops=tc.compiled.residual_operators(0),
+                    est_tuples=qc.window_packets,
+                    read_filter_table=None,
+                )
+            )
+        return QueryPlan(
+            query=qc.query,
+            spec=qc.spec,
+            path=(finest,),
+            instances=instances,
+            relaxed_thresholds=qc.relaxed_thresholds,
+        )
+
+
+def replan(
+    plan: Plan,
+    recent_trace: Trace,
+    window: float | None = None,
+    time_limit: float = 30.0,
+    max_levels: int = 4,
+) -> Plan:
+    """Re-run the planner for an existing plan on fresh traffic (§5).
+
+    This is the action behind the runtime's re-training signal: when
+    register overflow shows the original training data underestimated the
+    key population, the ILP is re-solved with measurements taken from the
+    recent traffic, producing a plan whose register sizing (and possibly
+    partitioning/refinement) matches reality. The original plan's queries,
+    switch envelope and mode are reused.
+    """
+    queries = [qplan.query for qplan in plan.query_plans.values()]
+    planner = QueryPlanner(
+        queries,
+        recent_trace,
+        config=plan.switch_config,
+        window=window,
+        max_levels=max_levels,
+        time_limit=time_limit,
+    )
+    return planner.plan(plan.mode)

@@ -1,0 +1,19 @@
+"""The eleven telemetry queries of Table 3."""
+
+from repro.queries.library import (
+    EXTENSION_QUERIES,
+    QUERY_LIBRARY,
+    QuerySpec,
+    TOP8,
+    build_query,
+    build_queries,
+)
+
+__all__ = [
+    "QUERY_LIBRARY",
+    "EXTENSION_QUERIES",
+    "QuerySpec",
+    "TOP8",
+    "build_query",
+    "build_queries",
+]

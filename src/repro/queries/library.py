@@ -1,0 +1,424 @@
+"""Table 3: the eleven Sonata telemetry queries.
+
+Each entry is a :class:`QuerySpec` with a builder (thresholds are
+parameters — absolute values depend on trace scale, so the defaults here
+are tuned for the synthetic backbone workload rather than copied from the
+paper's 100 Gbps traces), the attack injector that plants the traffic the
+query hunts for, and the output key field used to identify victims.
+
+The first eight queries touch only layer-3/4 headers and are the set used
+in the paper's Figure 7/8 load experiments; queries 9–11 additionally
+need DNS parsing or payload inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.expressions import Const, FieldRef, Quantized, Ratio, Difference
+from repro.core.fields import (
+    PROTO_TCP,
+    PROTO_UDP,
+    TCP_ACK,
+    TCP_FIN,
+    TCP_SYN,
+)
+from repro.core.query import PacketStream, Query
+from repro.packets import attacks
+from repro.packets.trace import Trace
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One Table 3 row."""
+
+    number: int
+    name: str
+    title: str
+    build: Callable[..., PacketStream]
+    defaults: dict[str, Any]
+    victim_field: str
+    inject: Callable[..., Trace] | None = None
+    layer34_only: bool = True
+
+    def query(self, qid: int | None = None, window: float = 3.0, **thresholds: Any) -> Query:
+        params = {**self.defaults, **thresholds}
+        stream = self.build(**params)
+        stream.name = self.name
+        stream.window = window
+        if qid is not None:
+            stream.qid = qid
+        return Query(stream)
+
+
+# ---------------------------------------------------------------------------
+# 1. Newly opened TCP connections (Query 1 of the paper)
+# ---------------------------------------------------------------------------
+def _newly_opened(Th: int = 60) -> PacketStream:
+    return (
+        PacketStream()
+        .filter(("tcp.flags", "eq", TCP_SYN))
+        .map(keys=("ipv4.dIP",), values=(Const(1),))
+        .reduce(keys=("ipv4.dIP",), func="sum")
+        .filter(("count", "gt", Th))
+    )
+
+
+# ---------------------------------------------------------------------------
+# 2. SSH brute force: many clients send same-sized probes to one server
+# ---------------------------------------------------------------------------
+def _ssh_brute_force(Th: int = 30) -> PacketStream:
+    return (
+        PacketStream()
+        .filter(("ipv4.proto", "eq", PROTO_TCP), ("tcp.dPort", "eq", 22))
+        .map(keys=("ipv4.dIP", "ipv4.sIP", "pktlen"))
+        .distinct()
+        .map(keys=("ipv4.dIP", "pktlen"), values=(Const(1),))
+        .reduce(keys=("ipv4.dIP", "pktlen"), func="sum")
+        .filter(("count", "gt", Th))
+    )
+
+
+# ---------------------------------------------------------------------------
+# 3. Superspreader: one source contacts many destinations
+# ---------------------------------------------------------------------------
+def _superspreader(Th: int = 120) -> PacketStream:
+    return (
+        PacketStream()
+        .map(keys=("ipv4.sIP", "ipv4.dIP"))
+        .distinct()
+        .map(keys=("ipv4.sIP",), values=(Const(1),))
+        .reduce(keys=("ipv4.sIP",), func="sum")
+        .filter(("count", "gt", Th))
+    )
+
+
+# ---------------------------------------------------------------------------
+# 4. Port scan: one source probes many ports
+# ---------------------------------------------------------------------------
+def _port_scan(Th: int = 80) -> PacketStream:
+    return (
+        PacketStream()
+        .filter(("ipv4.proto", "eq", PROTO_TCP))
+        .map(keys=("ipv4.sIP", "tcp.dPort"))
+        .distinct()
+        .map(keys=("ipv4.sIP",), values=(Const(1),))
+        .reduce(keys=("ipv4.sIP",), func="sum")
+        .filter(("count", "gt", Th))
+    )
+
+
+# ---------------------------------------------------------------------------
+# 5. DDoS: many sources target one destination
+# ---------------------------------------------------------------------------
+def _ddos(Th: int = 150) -> PacketStream:
+    return (
+        PacketStream()
+        .map(keys=("ipv4.dIP", "ipv4.sIP"))
+        .distinct()
+        .map(keys=("ipv4.dIP",), values=(Const(1),))
+        .reduce(keys=("ipv4.dIP",), func="sum")
+        .filter(("count", "gt", Th))
+    )
+
+
+# ---------------------------------------------------------------------------
+# 6. TCP SYN flood: SYNs far outnumber completed handshakes
+# ---------------------------------------------------------------------------
+def _syn_flood(Th: int = 100) -> PacketStream:
+    acks = (
+        PacketStream(name="syn_flood.acks")
+        .filter(("tcp.flags", "eq", TCP_ACK))
+        .map(keys=("ipv4.dIP",), values=(Const(1, "acks"),))
+        .reduce(keys=("ipv4.dIP",), func="sum", out="acks")
+    )
+    return (
+        PacketStream()
+        .filter(("tcp.flags", "eq", TCP_SYN))
+        .map(keys=("ipv4.dIP",), values=(Const(1, "syns"),))
+        .reduce(keys=("ipv4.dIP",), func="sum", out="syns")
+        .join(acks, keys=("ipv4.dIP",))
+        .map(keys=("ipv4.dIP",), values=(Difference("syns", "acks", "pending"),))
+        .filter(("pending", "gt", Th))
+    )
+
+
+# ---------------------------------------------------------------------------
+# 7. TCP incomplete flows: SYNs without matching FINs
+# ---------------------------------------------------------------------------
+def _incomplete_flows(Th: int = 100) -> PacketStream:
+    fins = (
+        PacketStream(name="incomplete.fins")
+        .filter(("tcp.flags", "mask", TCP_FIN))
+        .map(keys=("ipv4.dIP",), values=(Const(1, "fins"),))
+        .reduce(keys=("ipv4.dIP",), func="sum", out="fins")
+    )
+    return (
+        PacketStream()
+        .filter(("tcp.flags", "eq", TCP_SYN))
+        .map(keys=("ipv4.dIP",), values=(Const(1, "syns"),))
+        .reduce(keys=("ipv4.dIP",), func="sum", out="syns")
+        .join(fins, keys=("ipv4.dIP",))
+        .map(keys=("ipv4.dIP",), values=(Difference("syns", "fins", "open"),))
+        .filter(("open", "gt", Th))
+    )
+
+
+# ---------------------------------------------------------------------------
+# 8. Slowloris (Query 2 of the paper): many connections, few bytes
+# ---------------------------------------------------------------------------
+def _slowloris(Th1: int = 3_000, Th2: int = 600) -> PacketStream:
+    """Th1: minimum bytes; Th2: connections per byte, scaled by 1e6."""
+    bytes_side = (
+        PacketStream(name="slowloris.bytes")
+        .filter(("ipv4.proto", "eq", PROTO_TCP))
+        .map(keys=("ipv4.dIP",), values=(FieldRef("pktlen", "bytes"),))
+        .reduce(keys=("ipv4.dIP",), func="sum", out="bytes")
+        .filter(("bytes", "gt", Th1))
+    )
+    return (
+        PacketStream()
+        .filter(("ipv4.proto", "eq", PROTO_TCP))
+        .map(keys=("ipv4.dIP", "ipv4.sIP", "tcp.sPort"))
+        .distinct()
+        .map(keys=("ipv4.dIP",), values=(Const(1, "conns"),))
+        .reduce(keys=("ipv4.dIP",), func="sum", out="conns")
+        .join(bytes_side, keys=("ipv4.dIP",))
+        .map(
+            keys=("ipv4.dIP",),
+            values=(Ratio("conns", "bytes", "cpb"),),
+        )
+        .filter(("cpb", "gt", Th2))
+    )
+
+
+# ---------------------------------------------------------------------------
+# 9. DNS tunneling: one host resolves many unique names
+# ---------------------------------------------------------------------------
+def _dns_tunneling(Th: int = 60) -> PacketStream:
+    return (
+        PacketStream()
+        .filter(
+            ("ipv4.proto", "eq", PROTO_UDP),
+            ("udp.sPort", "eq", 53),
+            ("dns.qr", "eq", 1),
+        )
+        .map(keys=("ipv4.dIP", "dns.rr.name"))
+        .distinct()
+        .map(keys=("ipv4.dIP",), values=(Const(1),))
+        .reduce(keys=("ipv4.dIP",), func="sum")
+        .filter(("count", "gt", Th))
+    )
+
+
+# ---------------------------------------------------------------------------
+# 10. Zorro attack (Query 3 of the paper): telnet brute force + keyword
+# ---------------------------------------------------------------------------
+def _zorro(Th1: int = 50, Th2: int = 3, N: int = 16) -> PacketStream:
+    sized_probes = (
+        PacketStream(name="zorro.probes")
+        .filter(("ipv4.proto", "eq", PROTO_TCP), ("tcp.dPort", "eq", 23))
+        .map(
+            keys=("ipv4.dIP", Quantized("pktlen", N, "probe_len")),
+            values=(Const(1, "cnt1"),),
+        )
+        .reduce(keys=("ipv4.dIP", "probe_len"), func="sum", out="cnt1")
+        .filter(("cnt1", "gt", Th1))
+    )
+    return (
+        PacketStream()
+        .filter(("ipv4.proto", "eq", PROTO_TCP), ("tcp.dPort", "eq", 23))
+        .join(sized_probes, keys=("ipv4.dIP",))
+        .filter(("payload", "contains", b"zorro"))
+        .map(keys=("ipv4.dIP",), values=(Const(1, "count2"),))
+        .reduce(keys=("ipv4.dIP",), func="sum", out="count2")
+        .filter(("count2", "gt", Th2))
+    )
+
+
+# ---------------------------------------------------------------------------
+# 11. DNS reflection: many amplifiers send large responses to one victim
+# ---------------------------------------------------------------------------
+def _dns_reflection(Th: int = 100) -> PacketStream:
+    return (
+        PacketStream()
+        .filter(
+            ("ipv4.proto", "eq", PROTO_UDP),
+            ("udp.sPort", "eq", 53),
+            ("dns.qr", "eq", 1),
+            ("pktlen", "gt", 1000),
+        )
+        .map(keys=("ipv4.dIP", "ipv4.sIP"))
+        .distinct()
+        .map(keys=("ipv4.dIP",), values=(Const(1),))
+        .reduce(keys=("ipv4.dIP",), func="sum")
+        .filter(("count", "gt", Th))
+    )
+
+
+QUERY_LIBRARY: dict[str, QuerySpec] = {
+    spec.name: spec
+    for spec in [
+        QuerySpec(
+            1,
+            "newly_opened_tcp_conns",
+            "Newly opened TCP Conns.",
+            _newly_opened,
+            {"Th": 60},
+            "ipv4.dIP",
+            inject=attacks.syn_flood,
+        ),
+        QuerySpec(
+            2,
+            "ssh_brute_force",
+            "SSH Brute Force",
+            _ssh_brute_force,
+            {"Th": 30},
+            "ipv4.dIP",
+            inject=attacks.ssh_brute_force,
+        ),
+        QuerySpec(
+            3,
+            "superspreader",
+            "Superspreader",
+            _superspreader,
+            {"Th": 120},
+            "ipv4.sIP",
+            inject=attacks.superspreader,
+        ),
+        QuerySpec(
+            4,
+            "port_scan",
+            "Port Scan",
+            _port_scan,
+            {"Th": 80},
+            "ipv4.sIP",
+            inject=attacks.port_scan,
+        ),
+        QuerySpec(
+            5,
+            "ddos",
+            "DDoS",
+            _ddos,
+            {"Th": 150},
+            "ipv4.dIP",
+            inject=attacks.ddos,
+        ),
+        QuerySpec(
+            6,
+            "syn_flood",
+            "TCP SYN Flood",
+            _syn_flood,
+            {"Th": 100},
+            "ipv4.dIP",
+            inject=attacks.syn_flood,
+        ),
+        QuerySpec(
+            7,
+            "incomplete_flows",
+            "TCP Incomplete Flows",
+            _incomplete_flows,
+            {"Th": 100},
+            "ipv4.dIP",
+            inject=attacks.incomplete_flows,
+        ),
+        QuerySpec(
+            8,
+            "slowloris",
+            "Slowloris Attacks",
+            _slowloris,
+            {"Th1": 3_000, "Th2": 600},
+            "ipv4.dIP",
+            inject=attacks.slowloris,
+        ),
+        QuerySpec(
+            9,
+            "dns_tunneling",
+            "DNS Tunneling",
+            _dns_tunneling,
+            {"Th": 60},
+            "ipv4.dIP",
+            inject=attacks.dns_tunnel,
+            layer34_only=False,
+        ),
+        QuerySpec(
+            10,
+            "zorro",
+            "Zorro Attack",
+            _zorro,
+            {"Th1": 50, "Th2": 3, "N": 16},
+            "ipv4.dIP",
+            inject=attacks.zorro,
+            layer34_only=False,
+        ),
+        QuerySpec(
+            11,
+            "dns_reflection",
+            "DNS Reflection Attack",
+            _dns_reflection,
+            {"Th": 100},
+            "ipv4.dIP",
+            inject=attacks.dns_reflection,
+            layer34_only=False,
+        ),
+    ]
+}
+
+#: The eight layer-3/4 queries evaluated in Figures 7 and 8.
+TOP8: tuple[str, ...] = tuple(
+    name for name, spec in QUERY_LIBRARY.items() if spec.layer34_only
+)
+
+
+def build_query(
+    name: str, qid: int | None = None, window: float = 3.0, **thresholds: Any
+) -> Query:
+    """Build one library query by name."""
+    return QUERY_LIBRARY[name].query(qid=qid, window=window, **thresholds)
+
+
+def build_queries(
+    names: "list[str] | tuple[str, ...]", window: float = 3.0
+) -> list[Query]:
+    """Build several library queries with sequential qids (1-based)."""
+    return [
+        build_query(name, qid=index + 1, window=window)
+        for index, name in enumerate(names)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Extension: malicious-domain detection keyed on the DNS name hierarchy.
+# Not a Table 3 row — it realizes the paper's §4.1 remark that a query
+# "detecting malicious domains ... can use the field dns.rr.name as a
+# refinement key" (fully-qualified name = finest level, TLD = coarsest).
+# ---------------------------------------------------------------------------
+def _malicious_domains(Th: int = 80) -> PacketStream:
+    return (
+        PacketStream()
+        .filter(
+            ("ipv4.proto", "eq", PROTO_UDP),
+            ("udp.sPort", "eq", 53),
+            ("dns.qr", "eq", 1),
+        )
+        .map(keys=("dns.rr.name", "ipv4.dIP"))
+        .distinct()
+        .map(keys=("dns.rr.name",), values=(Const(1),))
+        .reduce(keys=("dns.rr.name",), func="sum")
+        .filter(("count", "gt", Th))
+    )
+
+
+EXTENSION_QUERIES: dict[str, QuerySpec] = {
+    "malicious_domains": QuerySpec(
+        12,
+        "malicious_domains",
+        "Malicious Domains (ext.)",
+        _malicious_domains,
+        {"Th": 80},
+        "dns.rr.name",
+        inject=attacks.dns_domain_flood,
+        layer34_only=False,
+    )
+}

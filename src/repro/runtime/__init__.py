@@ -1,0 +1,28 @@
+"""Sonata's runtime (§5): drives the switch, emitter and stream processor.
+
+Given a :class:`~repro.planner.plans.Plan`, the runtime installs every
+instance's tables on the simulated PISA switch, registers the residual
+operators with the stream processor, and then executes a trace window by
+window: packets flow through the switch, mirrored tuples flow through the
+emitter to the stream processor, per-level query outputs feed the dynamic
+refinement filter tables for the next window, and finest-level outputs are
+the query detections.
+"""
+
+from repro.runtime.emitter import Emitter
+from repro.runtime.runtime import RunReport, SonataRuntime, WindowReport
+from repro.runtime.drivers import PlanArtifacts, compile_plan, export_plan
+from repro.runtime.reaction import MitigationPolicy, Mitigator, run_with_mitigation
+
+__all__ = [
+    "Emitter",
+    "SonataRuntime",
+    "RunReport",
+    "WindowReport",
+    "PlanArtifacts",
+    "compile_plan",
+    "export_plan",
+    "MitigationPolicy",
+    "Mitigator",
+    "run_with_mitigation",
+]

@@ -1,0 +1,143 @@
+"""The emitter: turns mirrored switch output into stream-processor batches.
+
+In the paper the emitter is a process on the monitoring port that parses
+mirrored packets with Scapy, keeps the output of stateful operators in a
+local key-value store, and reads the data-plane registers at the end of
+each window. Here the switch simulator already hands over structured
+:class:`MirroredTuple` objects, so the emitter's remaining jobs are:
+
+- buffering per-instance tuples within the window;
+- the §3.1.3 collision adjustment: tuples whose key overflowed all ``d``
+  registers were mirrored raw, so at window end the emitter replays them
+  through the on-switch portion of the query and merges the result with
+  the register dump. For instances that saw overflow the runtime asks the
+  switch for a *full*, un-thresholded register dump; the emitter re-
+  aggregates the union (a key's contributions can be split between the
+  registers and the overflow stream when the overflow happened at a
+  mid-chain distinct) and then re-applies the folded threshold;
+- counting tuples: the number of tuples crossing the emitter is the
+  paper's headline load metric.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.operators import Distinct, Reduce
+from repro.planner.plans import InstancePlan
+from repro.streaming.rowops import Row, apply_operator, apply_operators
+from repro.switch.simulator import MirroredTuple
+
+
+@dataclass
+class EmitterBatch:
+    """Per-instance tuples delivered to the stream processor for a window."""
+
+    rows: list[Row] = field(default_factory=list)
+    tuples_sent: int = 0  # tuples that crossed the switch -> SP boundary
+
+
+class Emitter:
+    """Per-window buffering, overflow adjustment and tuple accounting."""
+
+    def __init__(self, instances: Mapping[str, InstancePlan]) -> None:
+        self._instances = dict(instances)
+        self._stream: dict[str, list[Row]] = defaultdict(list)
+        self._overflow: dict[str, dict[int, list[Row]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+        self.total_tuples = 0
+
+    def ingest(self, mirrored: list[MirroredTuple]) -> None:
+        """Consume per-packet mirrored tuples."""
+        for m in mirrored:
+            self.total_tuples += 1
+            if m.kind == "stream":
+                self._stream[m.instance].append(m.fields)
+            elif m.kind == "overflow":
+                self._overflow[m.instance][m.op_index].append(m.fields)
+            else:  # pragma: no cover - key reports arrive via end_window
+                raise ValueError(f"unexpected mirrored kind {m.kind}")
+
+    def overflow_instances(self) -> set[str]:
+        """Instances needing a full register dump this window."""
+        return {key for key, buckets in self._overflow.items() if buckets}
+
+    def end_window(
+        self,
+        key_reports: Mapping[str, list[MirroredTuple]],
+        tables: Mapping[str, set] | None = None,
+    ) -> dict[str, EmitterBatch]:
+        """Assemble the final per-instance batches for the closing window."""
+        batches: dict[str, EmitterBatch] = {}
+        keys = set(self._stream) | set(self._overflow) | set(key_reports)
+        for key in keys:
+            plan = self._instances.get(key)
+            reports = list(key_reports.get(key, []))
+            self.total_tuples += len(reports)
+            sent = len(self._stream.get(key, [])) + len(reports)
+            sent += sum(len(p) for p in self._overflow.get(key, {}).values())
+
+            if key in self._overflow and plan is not None:
+                rows = self._merge_overflow(plan, reports, tables)
+            else:
+                rows = [m.fields for m in reports]
+            rows = list(self._stream.get(key, [])) + rows
+            batches[key] = EmitterBatch(rows=rows, tuples_sent=sent)
+
+        self._stream.clear()
+        self._overflow.clear()
+        return batches
+
+    def _merge_overflow(
+        self,
+        plan: InstancePlan,
+        reports: list[MirroredTuple],
+        tables: Mapping[str, set] | None,
+    ) -> list[Row]:
+        """Union register dump and overflow stream, re-aggregate, re-filter.
+
+        The register reports arrive with ``op_index`` just after the last
+        stateful operator (pre-threshold, full dump); overflow buckets are
+        replayed through the same prefix, the union is re-aggregated with
+        the stateful operator itself (contributions for one key can be
+        split across the two paths), and the remaining on-switch operators
+        (the folded threshold) are applied last.
+        """
+        ops = plan.augmented.operators
+        stateful_indices = [
+            i for i, op in enumerate(ops[: plan.cut]) if op.stateful
+        ]
+        if not stateful_indices:
+            # No stateful prefix: just replay overflow to the cut level.
+            rows = [m.fields for m in reports]
+            for op_index, pending in self._overflow.get(plan.key, {}).items():
+                rows.extend(
+                    apply_operators(pending, list(ops[op_index : plan.cut]), tables)
+                )
+            return rows
+        last = stateful_indices[-1]
+        level = last + 1  # pre-threshold merge point
+
+        merged: list[Row] = [m.fields for m in reports]
+        for op_index, pending in self._overflow.get(plan.key, {}).items():
+            merged.extend(
+                apply_operators(pending, list(ops[op_index:level]), tables)
+            )
+        # Re-aggregate partial results for keys split across the paths.
+        stateful_op = ops[last]
+        if isinstance(stateful_op, Reduce):
+            remerge = Reduce(
+                keys=stateful_op.keys,
+                func=stateful_op.func if stateful_op.func != "count" else "sum",
+                value_field=stateful_op.out,
+                out=stateful_op.out,
+            )
+            merged = apply_operator(merged, remerge, tables)
+        elif isinstance(stateful_op, Distinct):
+            merged = apply_operator(
+                merged, Distinct(keys=tuple(merged[0].keys()) if merged else ()), tables
+            )
+        return apply_operators(merged, list(ops[level : plan.cut]), tables)

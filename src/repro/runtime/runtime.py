@@ -1,0 +1,339 @@
+"""End-to-end execution of a plan over a packet trace (§5, Figure 6).
+
+Each window:
+
+1. packets flow through the simulated PISA switch (instances whose cut is
+   0 have nothing installed — their traffic is raw-mirrored, and executed
+   with the vectorized engine, which is semantically identical to the
+   row-wise path and far cheaper for full-window batches);
+2. the emitter assembles per-instance tuple batches (including register
+   polls and the collision adjustment);
+3. the stream processor runs each instance's residual operators and
+   assembles join trees per refinement transition;
+4. the runtime feeds each level's output keys into the next level's
+   dynamic filter table (iterative refinement — the update cost is charged
+   with the §6.2 timing model), and finest-level outputs become the
+   window's detections.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.analytics import execute_subquery
+from repro.core.errors import PlanningError
+from repro.packets.trace import Trace
+from repro.planner.plans import InstancePlan, Plan, QueryPlan
+from repro.planner.refinement import filter_table_name
+from repro.runtime.emitter import Emitter
+from repro.streaming.engine import StreamProcessor
+from repro.streaming.rowops import Row
+from repro.switch.simulator import PISASwitch
+
+
+@dataclass
+class WindowReport:
+    """Accounting for one completed window."""
+
+    index: int
+    start: float
+    end: float
+    packets: int
+    tuples_to_sp: dict[int, int]  # per qid
+    detections: dict[int, list[Row]]  # per qid, finest-level outputs
+    level_outputs: dict[tuple[int, int], list[Row]]  # (qid, level) -> rows
+    #: Per-leaf sub-query outputs, (qid, level, subid) -> rows; used e.g.
+    #: by the Figure 9 case study to separate "victim identified" (the
+    #: aggregation sub-query fires) from "attack confirmed" (the joined
+    #: query, including the payload predicate, fires).
+    sub_outputs: dict[tuple[int, int, int], list[Row]] = field(default_factory=dict)
+    tuples_per_instance: dict[str, int] = field(default_factory=dict)
+    #: Per-instance (register updates, overflows) — the §5 signal that the
+    #: training data underestimated the key population.
+    overflow_stats: dict[str, tuple[int, int]] = field(default_factory=dict)
+    filter_update_seconds: float = 0.0
+
+    def overflow_rate(self, instance_key: str) -> float:
+        updates, overflows = self.overflow_stats.get(instance_key, (0, 0))
+        return overflows / updates if updates else 0.0
+
+    @property
+    def total_tuples(self) -> int:
+        return sum(self.tuples_to_sp.values())
+
+
+@dataclass
+class RunReport:
+    """Accounting for a full run."""
+
+    windows: list[WindowReport] = field(default_factory=list)
+    plan_mode: str = ""
+
+    @property
+    def total_tuples(self) -> int:
+        return sum(w.total_tuples for w in self.windows)
+
+    def tuples_per_query(self) -> dict[int, int]:
+        totals: dict[int, int] = defaultdict(int)
+        for window in self.windows:
+            for qid, count in window.tuples_to_sp.items():
+                totals[qid] += count
+        return dict(totals)
+
+    def detections(self) -> list[tuple[float, int, Row]]:
+        """(detection_time, qid, row) for every finest-level output."""
+        out = []
+        for window in self.windows:
+            for qid, rows in window.detections.items():
+                out.extend((window.end, qid, row) for row in rows)
+        return out
+
+    def first_detection(self, qid: int) -> float | None:
+        for window in self.windows:
+            if window.detections.get(qid):
+                return window.end
+        return None
+
+
+class SonataRuntime:
+    """Installs a plan and executes traces window by window.
+
+    ``on_retrain`` (optional) is invoked with the closing
+    :class:`WindowReport` whenever some instance's register-overflow rate
+    exceeds ``retrain_overflow_threshold`` — the §5 behaviour where "too
+    many hash collisions" trigger the runtime to re-run the query planner
+    with fresh data. The callback decides what to do (typically: re-plan
+    on recent windows and swap runtimes); execution continues either way.
+    """
+
+    def __init__(
+        self,
+        plan: Plan,
+        on_retrain=None,
+        retrain_overflow_threshold: float = 0.05,
+        wire_check: bool = False,
+    ) -> None:
+        self.plan = plan
+        self.on_retrain = on_retrain
+        self.retrain_overflow_threshold = retrain_overflow_threshold
+        self.retrain_signals: list[int] = []  # window indices that fired
+        #: When set, every mirrored tuple is round-tripped through the
+        #: emitter's binary wire format (§5), proving the configured
+        #: per-instance schemas reconstruct the stream processor's input
+        #: exactly. Off by default (it doubles per-tuple work).
+        self.wire_check = wire_check
+        self._wire_codec = None
+        if wire_check:
+            from repro.runtime.wire import WireCodec
+
+            self._wire_codec = WireCodec()
+        self.switch = PISASwitch(plan.switch_config)
+        self.stream_processor = StreamProcessor()
+        self._instances: dict[str, InstancePlan] = {}
+        self._raw_mirror: list[InstancePlan] = []  # cut == 0 instances
+
+        for inst in plan.all_instances():
+            self._instances[inst.key] = inst
+            if inst.on_switch:
+                self.switch.install(
+                    inst.key,
+                    inst.compiled,
+                    inst.cut,
+                    sized_tables=inst.tables,
+                    stage_assignment=inst.stage_assignment,
+                )
+                self.stream_processor.register(inst.key, inst.residual_ops)
+            else:
+                self._raw_mirror.append(inst)
+                self.stream_processor.register(
+                    inst.key, inst.augmented.operators
+                )
+        # Make sure every refinement filter table exists even when the
+        # instance reading it runs entirely at the stream processor.
+        for inst in plan.all_instances():
+            if inst.read_filter_table is not None:
+                self.switch.filter_tables.setdefault(inst.read_filter_table, set())
+
+        self.emitter = Emitter(self._instances)
+
+    # -- window execution ---------------------------------------------------
+    def run(
+        self,
+        trace: Trace,
+        window: float | None = None,
+        origin: float | None = None,
+    ) -> RunReport:
+        """Execute the full trace; returns per-window accounting.
+
+        ``origin`` aligns window boundaries to an external clock — used by
+        multi-switch execution so every switch closes windows in lockstep.
+        """
+        if window is None:
+            windows = {plan.query.window for plan in self.plan.query_plans.values()}
+            if len(windows) != 1:
+                raise PlanningError(
+                    "queries use different window sizes; pass window explicitly"
+                )
+            window = windows.pop()
+        report = RunReport(plan_mode=self.plan.mode)
+        for index, (start, sub_trace) in enumerate(trace.windows(window, origin=origin)):
+            report.windows.append(
+                self._run_window(index, start, start + window, sub_trace)
+            )
+        return report
+
+    def _run_window(
+        self, index: int, start: float, end: float, window_trace: Trace
+    ) -> WindowReport:
+        # 1. Data plane.
+        if self.switch.instances:
+            for packet in window_trace.packets():
+                mirrored = self.switch.process_packet(packet)
+                if self._wire_codec is not None:
+                    mirrored = [self._wire_roundtrip(m) for m in mirrored]
+                self.emitter.ingest(mirrored)
+        key_reports = self.switch.end_window(
+            full_dump=self.emitter.overflow_instances()
+        )
+        if self._wire_codec is not None:
+            key_reports = {
+                key: [self._wire_roundtrip(m) for m in reports]
+                for key, reports in key_reports.items()
+            }
+        tables = self.switch.filter_tables
+
+        # 2. Emitter.
+        batches = self.emitter.end_window(key_reports, tables)
+
+        # 3. Stream processor: per-instance residuals.
+        tuples_to_sp: dict[int, int] = defaultdict(int)
+        tuples_per_instance: dict[str, int] = defaultdict(int)
+        leaf_rows: dict[str, list[Row]] = {}
+        for key, batch in batches.items():
+            tuples_to_sp[self._instances[key].qid] += batch.tuples_sent
+            tuples_per_instance[key] += batch.tuples_sent
+            leaf_rows[key] = self.stream_processor.process(key, batch.rows, tables)
+
+        # Raw-mirrored instances: executed with the vectorized engine; the
+        # full window crosses to the SP once per query that needs it.
+        raw_qids = set()
+        for inst in self._raw_mirror:
+            inst_tables = dict(tables)
+            result = execute_subquery(inst.augmented, window_trace, inst_tables)
+            leaf_rows[inst.key] = result.rows()
+            raw_qids.add(inst.qid)
+            runtime = self.stream_processor.instance(inst.key)
+            runtime.tuples_in += len(window_trace)
+            runtime.tuples_out += len(leaf_rows[inst.key])
+            tuples_per_instance[inst.key] += len(window_trace)
+        for qid in raw_qids:
+            tuples_to_sp[qid] += len(window_trace)
+
+        # 4. Join assembly per refinement transition + filter updates.
+        detections: dict[int, list[Row]] = {}
+        level_outputs: dict[tuple[int, int], list[Row]] = {}
+        sub_outputs: dict[tuple[int, int, int], list[Row]] = {}
+        update_seconds = 0.0
+        for qid, qplan in self.plan.query_plans.items():
+            finest = qplan.path[-1] if qplan.path else None
+            for r_prev, r_level in qplan.transitions():
+                for inst in qplan.instances_for(r_prev, r_level):
+                    sub_outputs[(qid, r_level, inst.subid)] = leaf_rows.get(
+                        inst.key, []
+                    )
+                output = self._transition_output(
+                    qplan, r_prev, r_level, leaf_rows, tables
+                )
+                level_outputs[(qid, r_level)] = output
+                if r_level == finest:
+                    detections[qid] = output
+                elif qplan.spec is not None:
+                    keys = {
+                        row[qplan.spec.key_field]
+                        for row in output
+                        if qplan.spec.key_field in row
+                    }
+                    update_seconds += self.switch.update_filter_table(
+                        filter_table_name(qid, r_level), keys
+                    )
+
+        report = WindowReport(
+            index=index,
+            start=start,
+            end=end,
+            packets=len(window_trace),
+            tuples_to_sp=dict(tuples_to_sp),
+            detections=detections,
+            level_outputs=level_outputs,
+            sub_outputs=sub_outputs,
+            tuples_per_instance=dict(tuples_per_instance),
+            overflow_stats=dict(self.switch.window_overflow_stats),
+            filter_update_seconds=update_seconds,
+        )
+        if any(
+            report.overflow_rate(key) > self.retrain_overflow_threshold
+            for key in report.overflow_stats
+        ):
+            self.retrain_signals.append(index)
+            if self.on_retrain is not None:
+                self.on_retrain(report)
+        return report
+
+    def _wire_roundtrip(self, mirrored):
+        """Encode + decode a tuple via the wire format; must be lossless."""
+        from repro.core.fields import FIELDS
+        from repro.switch.simulator import MirroredTuple
+
+        codec = self._wire_codec
+        # One schema per (instance, kind, op depth): the layout of a
+        # per-packet stream tuple differs from a register key report.
+        schema_key = f"{mirrored.instance}#{mirrored.kind}#{mirrored.op_index}"
+        try:
+            codec.schema(schema_key)
+        except Exception:
+            widths = {}
+            for name, value in mirrored.fields.items():
+                if name in FIELDS:
+                    spec = FIELDS.get(name)
+                    widths[name] = spec.width if spec.kind == "int" else 0
+                elif isinstance(value, (bytes, str)):
+                    widths[name] = 0
+                else:
+                    widths[name] = 64
+            codec.configure(schema_key, widths)
+        tagged = MirroredTuple(
+            instance=schema_key,
+            kind=mirrored.kind,
+            fields=mirrored.fields,
+            op_index=mirrored.op_index,
+        )
+        decoded = codec.decode(codec.encode(tagged))
+        assert decoded.fields == mirrored.fields, (
+            f"wire roundtrip changed a tuple: {mirrored.fields} -> "
+            f"{decoded.fields}"
+        )
+        return MirroredTuple(
+            instance=mirrored.instance,
+            kind=decoded.kind,
+            fields=decoded.fields,
+            op_index=decoded.op_index,
+        )
+
+    def _transition_output(
+        self,
+        qplan: QueryPlan,
+        r_prev: int,
+        r_level: int,
+        leaf_rows: dict[str, list[Row]],
+        tables: dict[str, set],
+    ) -> list[Row]:
+        instances = qplan.instances_for(r_prev, r_level)
+        leaf_outputs: dict[int, list[Row] | None] = {
+            sq.subid: None for sq in qplan.query.subqueries
+        }
+        for inst in instances:
+            leaf_outputs[inst.subid] = leaf_rows.get(inst.key, [])
+        return self.stream_processor.execute_join_tree(
+            qplan.query, qplan.query.join_tree, leaf_outputs, tables
+        )

@@ -1,0 +1,141 @@
+"""The emitter's wire format: qid-tagged binary tuple records (§5).
+
+The paper's runtime "configures the emitter — specifying the fields to
+extract from each packet for each query; each query is identified by a
+corresponding query identifier (qid)", and the emitter "uses this
+identifier to determine how to parse the remainder of the query-specific
+fields embedded in the packet". This module implements that contract: a
+:class:`WireCodec` is configured with each instance's field schema and
+encodes/decodes tuples as compact binary records:
+
+    record := instance_id:u16 | kind:u8 | op_index:u8 | fields...
+    field  := fixed-width big-endian int          (int fields)
+            | u16 length || bytes                 (str/bytes fields)
+
+The simulator hands structured tuples around directly, so the codec's role
+here is fidelity and testability: the runtime can optionally round-trip
+every mirrored tuple through it, proving the schema configuration is
+sufficient to reconstruct exactly what the stream processor needs.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.errors import PlanningError
+from repro.switch.simulator import MirroredTuple
+
+_KINDS = ("stream", "key_report", "overflow")
+
+
+def _width_bytes(bits: int) -> int:
+    return max((bits + 7) // 8, 1)
+
+
+@dataclass(frozen=True)
+class FieldCodec:
+    name: str
+    kind: str  # "int" | "bytes" | "str"
+    width_bytes: int  # for ints
+
+
+class WireCodec:
+    """Encodes/decodes emitter tuples using per-instance schemas."""
+
+    def __init__(self) -> None:
+        self._by_key: dict[str, int] = {}
+        self._by_id: dict[int, str] = {}
+        self._schemas: dict[str, list[FieldCodec]] = {}
+
+    # -- configuration ---------------------------------------------------
+    def configure(self, instance_key: str, schema_fields: dict[str, int]) -> int:
+        """Register an instance's (field -> bit width) schema; returns id.
+
+        Fields named ``payload`` or DNS names are length-prefixed byte
+        strings; everything else is a fixed-width unsigned integer.
+        """
+        if instance_key in self._by_key:
+            raise PlanningError(f"wire schema for {instance_key!r} already set")
+        instance_id = len(self._by_key) + 1
+        if instance_id > 0xFFFF:
+            raise PlanningError("too many instances for a 16-bit instance id")
+        codecs = []
+        for name, bits in schema_fields.items():
+            if name == "payload":
+                codecs.append(FieldCodec(name, "bytes", 0))
+            elif name == "dns.rr.name" or bits <= 0:
+                codecs.append(FieldCodec(name, "str", 0))
+            else:
+                codecs.append(FieldCodec(name, "int", _width_bytes(bits)))
+        self._by_key[instance_key] = instance_id
+        self._by_id[instance_id] = instance_key
+        self._schemas[instance_key] = codecs
+        return instance_id
+
+    def schema(self, instance_key: str) -> list[FieldCodec]:
+        try:
+            return self._schemas[instance_key]
+        except KeyError:
+            raise PlanningError(f"no wire schema for {instance_key!r}") from None
+
+    # -- encode / decode ----------------------------------------------------
+    def encode(self, tup: MirroredTuple) -> bytes:
+        instance_id = self._by_key.get(tup.instance)
+        if instance_id is None:
+            raise PlanningError(f"no wire schema for {tup.instance!r}")
+        out = bytearray(
+            struct.pack(
+                ">HBB", instance_id, _KINDS.index(tup.kind), tup.op_index
+            )
+        )
+        for codec in self._schemas[tup.instance]:
+            if codec.name not in tup.fields:
+                raise PlanningError(
+                    f"tuple for {tup.instance} missing field {codec.name!r}"
+                )
+            value = tup.fields[codec.name]
+            if codec.kind == "int":
+                out += int(value).to_bytes(codec.width_bytes, "big")
+            else:
+                blob = (
+                    value
+                    if isinstance(value, (bytes, bytearray))
+                    else str(value).encode("utf-8")
+                )
+                if len(blob) > 0xFFFF:
+                    blob = blob[:0xFFFF]
+                out += struct.pack(">H", len(blob)) + blob
+        return bytes(out)
+
+    def decode(self, record: bytes) -> MirroredTuple:
+        instance_id, kind_index, op_index = struct.unpack(">HBB", record[:4])
+        instance = self._by_id.get(instance_id)
+        if instance is None:
+            raise PlanningError(f"unknown instance id {instance_id}")
+        offset = 4
+        fields: dict = {}
+        for codec in self._schemas[instance]:
+            if codec.kind == "int":
+                fields[codec.name] = int.from_bytes(
+                    record[offset : offset + codec.width_bytes], "big"
+                )
+                offset += codec.width_bytes
+            else:
+                (length,) = struct.unpack(">H", record[offset : offset + 2])
+                offset += 2
+                blob = record[offset : offset + length]
+                offset += length
+                fields[codec.name] = (
+                    bytes(blob) if codec.kind == "bytes" else blob.decode("utf-8")
+                )
+        if offset != len(record):
+            raise PlanningError(
+                f"trailing bytes in record for {instance}: {len(record) - offset}"
+            )
+        return MirroredTuple(
+            instance=instance,
+            kind=_KINDS[kind_index],
+            fields=fields,
+            op_index=op_index,
+        )

@@ -1,0 +1,210 @@
+"""Spark-Streaming-style code generation for queries.
+
+Sonata's streaming driver compiles the residual portion of each query to
+the stream processor. This module emits that code as text against the
+:mod:`repro.streaming.dstream` API (which mirrors Spark Streaming's
+DStream operations) — both as a runnable artifact and for the Table 3
+lines-of-code comparison, where the paper counts the code a hand-written
+Spark implementation of each query needs (parsing, keying, aggregation,
+join plumbing and output handling).
+"""
+
+from __future__ import annotations
+
+from repro.core.expressions import Const, Difference, FieldRef, Prefixed, Quantized, Ratio
+from repro.core.operators import Distinct, Filter, Join, Map, Operator, Predicate, Reduce
+from repro.core.query import JoinNode, Query
+
+
+_PREAMBLE = """\
+from repro.streaming import StreamingContext
+
+# One tuple per mirrored packet: a dict of parsed fields. In a real
+# deployment this batch arrives from the emitter over a socket and must be
+# parsed and keyed before any query logic can run.
+ctx = StreamingContext(window={window})
+packets = ctx.queue_stream("packets")
+
+
+def parse(tuple_bytes):
+    \"\"\"Parse one emitter tuple (qid-tagged binary record) into a dict.\"\"\"
+    fields = {{}}
+    record = memoryview(tuple_bytes)
+    fields["qid"] = int.from_bytes(record[0:2], "big")
+    fields["ipv4.sIP"] = int.from_bytes(record[2:6], "big")
+    fields["ipv4.dIP"] = int.from_bytes(record[6:10], "big")
+    fields["ipv4.proto"] = record[10]
+    fields["tcp.sPort"] = int.from_bytes(record[11:13], "big")
+    fields["tcp.dPort"] = int.from_bytes(record[13:15], "big")
+    fields["tcp.flags"] = record[15]
+    fields["pktlen"] = int.from_bytes(record[16:18], "big")
+    fields["payload"] = bytes(record[18:])
+    return fields
+
+
+parsed = packets.map(parse)
+"""
+
+
+def _predicate_code(pred: Predicate) -> str:
+    field = f"t[{pred.field!r}]"
+    if pred.level is not None:
+        mask = ((1 << pred.level) - 1) << (32 - pred.level)
+        field = f"({field} & 0x{mask:08x})"
+    if pred.op == "eq":
+        return f"{field} == {pred.value!r}"
+    if pred.op == "ne":
+        return f"{field} != {pred.value!r}"
+    if pred.op == "gt":
+        return f"{field} > {pred.value!r}"
+    if pred.op == "ge":
+        return f"{field} >= {pred.value!r}"
+    if pred.op == "lt":
+        return f"{field} < {pred.value!r}"
+    if pred.op == "le":
+        return f"{field} <= {pred.value!r}"
+    if pred.op == "mask":
+        return f"({field} & {pred.value}) == {pred.value}"
+    if pred.op == "contains":
+        return f"{pred.value!r} in {field}"
+    if pred.op == "in":
+        return f"{field} in filter_tables[{pred.value!r}]"
+    raise ValueError(pred.op)
+
+
+def _expr_code(expr) -> str:
+    if isinstance(expr, FieldRef):
+        return f"t[{expr.field!r}]"
+    if isinstance(expr, Const):
+        return repr(expr.value)
+    if isinstance(expr, Prefixed):
+        mask = ((1 << expr.level) - 1) << (32 - expr.level) if expr.level else 0
+        return f"(t[{expr.field!r}] & 0x{mask:08x})"
+    if isinstance(expr, Quantized):
+        return f"((t[{expr.field!r}] // {expr.step}) * {expr.step})"
+    if isinstance(expr, Ratio):
+        return (
+            f"(t[{expr.numerator!r}] * {expr.scale} // t[{expr.denominator!r}]"
+            f" if t[{expr.denominator!r}] else 0)"
+        )
+    if isinstance(expr, Difference):
+        return f"(t[{expr.left!r}] - t[{expr.right!r}])"
+    raise ValueError(expr)
+
+
+def _operator_lines(
+    var: str, op: Operator, index: int, schema_in=None
+) -> tuple[str, list[str]]:
+    """Returns (new_var, code_lines) for one operator.
+
+    ``schema_in`` (when available) resolves a reduce's implicit value
+    field, matching :meth:`Reduce.resolved_value_field`.
+    """
+    new_var = f"{var}_{index}"
+    if isinstance(op, Filter):
+        cond = " and ".join(_predicate_code(p) for p in op.predicates)
+        return new_var, [f"{new_var} = {var}.filter(lambda t: {cond})"]
+    if isinstance(op, Map):
+        fields = ", ".join(
+            f"{e.name!r}: {_expr_code(e)}" for e in op.keys + op.values
+        )
+        return new_var, [f"{new_var} = {var}.map(lambda t: {{{fields}}})"]
+    if isinstance(op, Distinct):
+        keys = op.keys
+        if keys:
+            tup = ", ".join(f"t[{k!r}]" for k in keys)
+            lines = [
+                f"{new_var} = ({var}.map(lambda t: ({tup},))",
+                "    .distinct()",
+                f"    .map(lambda kv: dict(zip({list(keys)!r}, kv))))",
+            ]
+        else:
+            lines = [
+                f"{new_var} = ({var}.map(lambda t: tuple(sorted(t.items())))",
+                "    .distinct()",
+                "    .map(dict))",
+            ]
+        return new_var, lines
+    if isinstance(op, Reduce):
+        key_tup = ", ".join(f"t[{k!r}]" for k in op.keys)
+        value_field = op.value_field
+        if value_field is None and schema_in is not None:
+            value_field = op.resolved_value_field(schema_in)
+        value = f"t[{value_field!r}]" if value_field else "1"
+        reducer = {
+            "sum": "lambda a, b: a + b",
+            "count": "lambda a, b: a + b",
+            "max": "max",
+            "min": "min",
+            "or": "lambda a, b: a | b",
+        }[op.func]
+        return new_var, [
+            f"{new_var} = ({var}.map(lambda t: (({key_tup},), {value}))",
+            f"    .reduce_by_key({reducer})",
+            f"    .map(lambda kv: {{**dict(zip({list(op.keys)!r}, kv[0])), {op.out!r}: kv[1]}}))",
+        ]
+    raise ValueError(op)
+
+
+def generate_streaming_code(query: Query) -> str:
+    """Emit runnable DStream code implementing the full query."""
+    lines: list[str] = [_PREAMBLE.format(window=query.window)]
+    lines.append("filter_tables = {}  # refinement filters, updated by the runtime")
+    lines.append("")
+
+    leaf_vars: dict[int, str] = {}
+    for sq in query.subqueries:
+        var = "parsed"
+        lines.append(f"# sub-query {sq.subid}: {sq.name}")
+        schemas = sq.schemas()
+        for index, op in enumerate(sq.operators):
+            var, code = _operator_lines(var, op, index, schemas[index])
+            # prefix the variable names per sub-query to avoid collisions
+            code = [c.replace(f"{'parsed'}_", f"sq{sq.subid}_") for c in code]
+            var = var.replace("parsed_", f"sq{sq.subid}_")
+            lines.extend(code)
+        leaf_vars[sq.subid] = var
+        lines.append("")
+
+    out_var = _emit_join_tree(query, query.join_tree, leaf_vars, lines)
+    lines.append("")
+    lines.append(f"{out_var}.foreach(lambda batch: runtime_report(batch))")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _emit_join_tree(
+    query: Query, node, leaf_vars: dict[int, str], lines: list[str]
+) -> str:
+    if not isinstance(node, JoinNode):
+        return leaf_vars[node]
+    left = _emit_join_tree(query, node.left, leaf_vars, lines)
+    right = _emit_join_tree(query, node.right, leaf_vars, lines)
+    key_tup = ", ".join(f"t[{k!r}]" for k in node.keys)
+    out = f"joined_{len(lines)}"
+    lines.append(f"# join on {node.keys}")
+    lines.append(f"{out}_l = {left}.map(lambda t: (({key_tup},), t))")
+    lines.append(f"{out}_r = {right}.map(lambda t: (({key_tup},), t))")
+    lines.append(f"{out} = ({out}_l.join({out}_r)")
+    lines.append("    .map(lambda kv: {**kv[1][0], **kv[1][1]}))")
+    var = out
+    for index, op in enumerate(node.post_ops):
+        var, code = _operator_lines(var, op, index + 100)
+        lines.extend(code)
+    return var
+
+
+def count_streaming_loc(query: Query, include_preamble: bool = False) -> int:
+    """Non-blank lines of the generated streaming implementation.
+
+    The paper's Table 3 counts only the query-specific Spark logic, not the
+    shared tuple-parsing scaffolding, so the preamble is excluded by
+    default.
+    """
+    total = sum(
+        1 for line in generate_streaming_code(query).splitlines() if line.strip()
+    )
+    if include_preamble:
+        return total
+    preamble = sum(1 for line in _PREAMBLE.splitlines() if line.strip())
+    return total - preamble

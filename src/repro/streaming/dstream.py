@@ -1,0 +1,201 @@
+"""A discretized-stream (DStream) API in the style of Spark Streaming.
+
+This is the user-facing face of the stream-processor substrate: micro-batch
+streams with functional transformations. Sonata's streaming driver targets
+this API (and :mod:`repro.streaming.codegen` emits code against it for the
+Table 3 lines-of-code comparison); the runtime itself drives the lower-level
+:class:`repro.streaming.engine.StreamProcessor`.
+
+Example::
+
+    ctx = StreamingContext(window=3.0)
+    tuples = ctx.queue_stream("tuples")
+    (tuples.filter(lambda t: t["count"] > 40)
+           .map(lambda t: t["ipv4.dIP"])
+           .foreach(alert))
+    ctx.push("tuples", batch)
+    ctx.advance()          # runs one window
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Iterable
+
+from repro.core.errors import QueryValidationError
+
+Batch = list[Any]
+
+
+class DStream:
+    """A stream of per-window batches with lazy functional transformations."""
+
+    def __init__(self, context: "StreamingContext", parent: "DStream | None" = None) -> None:
+        self._context = context
+        self._parent = parent
+        self._callbacks: list[Callable[[Batch], None]] = []
+
+    # -- transformation plumbing --------------------------------------
+    def _compute(self, window_id: int) -> Batch:
+        raise NotImplementedError
+
+    def _materialize(self, window_id: int) -> Batch:
+        cache = self._context._cache
+        key = (id(self), window_id)
+        if key not in cache:
+            cache[key] = self._compute(window_id)
+        return cache[key]
+
+    # -- transformations ------------------------------------------------
+    def map(self, func: Callable[[Any], Any]) -> "DStream":
+        return _Transformed(self._context, self, lambda batch: [func(x) for x in batch])
+
+    def flat_map(self, func: Callable[[Any], Iterable[Any]]) -> "DStream":
+        return _Transformed(
+            self._context, self, lambda batch: [y for x in batch for y in func(x)]
+        )
+
+    def filter(self, func: Callable[[Any], bool]) -> "DStream":
+        return _Transformed(self._context, self, lambda batch: [x for x in batch if func(x)])
+
+    def distinct(self) -> "DStream":
+        def dedupe(batch: Batch) -> Batch:
+            seen: set = set()
+            out = []
+            for x in batch:
+                if x not in seen:
+                    seen.add(x)
+                    out.append(x)
+            return out
+
+        return _Transformed(self._context, self, dedupe)
+
+    def reduce_by_key(self, func: Callable[[Any, Any], Any]) -> "DStream":
+        """Aggregate ``(key, value)`` pairs within the window."""
+
+        def reduce(batch: Batch) -> Batch:
+            state: dict[Any, Any] = {}
+            for item in batch:
+                try:
+                    key, value = item
+                except (TypeError, ValueError):
+                    raise QueryValidationError(
+                        "reduce_by_key expects (key, value) tuples"
+                    ) from None
+                state[key] = func(state[key], value) if key in state else value
+            return list(state.items())
+
+        return _Transformed(self._context, self, reduce)
+
+    def count_by_key(self) -> "DStream":
+        return self.map(lambda kv: (kv[0], 1)).reduce_by_key(lambda a, b: a + b)
+
+    def join(self, other: "DStream") -> "DStream":
+        """Inner join of two keyed streams within the window."""
+        return _Joined(self._context, self, other)
+
+    def transform(self, func: Callable[[Batch], Batch]) -> "DStream":
+        return _Transformed(self._context, self, func)
+
+    def union(self, other: "DStream") -> "DStream":
+        return _Union(self._context, self, other)
+
+    # -- outputs ----------------------------------------------------------
+    def foreach(self, callback: Callable[[Batch], None]) -> "DStream":
+        """Register an output action run once per window with the batch."""
+        self._callbacks.append(callback)
+        self._context._outputs.append(self)
+        return self
+
+    def collect(self) -> "list[Batch]":
+        """Register a collector; returns the list that accumulates batches."""
+        sink: list[Batch] = []
+        self.foreach(sink.append)
+        return sink
+
+
+class _Queue(DStream):
+    """Source stream fed by :meth:`StreamingContext.push`."""
+
+    def __init__(self, context: "StreamingContext", name: str) -> None:
+        super().__init__(context)
+        self.name = name
+
+    def _compute(self, window_id: int) -> Batch:
+        return self._context._pending.get(self.name, {}).get(window_id, [])
+
+
+class _Transformed(DStream):
+    def __init__(
+        self,
+        context: "StreamingContext",
+        parent: DStream,
+        func: Callable[[Batch], Batch],
+    ) -> None:
+        super().__init__(context, parent)
+        self._func = func
+
+    def _compute(self, window_id: int) -> Batch:
+        return self._func(self._parent._materialize(window_id))
+
+
+class _Union(DStream):
+    def __init__(self, context: "StreamingContext", left: DStream, right: DStream) -> None:
+        super().__init__(context, left)
+        self._right = right
+
+    def _compute(self, window_id: int) -> Batch:
+        return self._parent._materialize(window_id) + self._right._materialize(window_id)
+
+
+class _Joined(DStream):
+    def __init__(self, context: "StreamingContext", left: DStream, right: DStream) -> None:
+        super().__init__(context, left)
+        self._right = right
+
+    def _compute(self, window_id: int) -> Batch:
+        index: dict[Any, list[Any]] = defaultdict(list)
+        for key, value in self._right._materialize(window_id):
+            index[key].append(value)
+        out = []
+        for key, value in self._parent._materialize(window_id):
+            for other in index.get(key, []):
+                out.append((key, (value, other)))
+        return out
+
+
+class StreamingContext:
+    """Owns the sources, schedules windows, and runs output actions."""
+
+    def __init__(self, window: float = 3.0) -> None:
+        self.window = window
+        self.window_id = 0
+        self._pending: dict[str, dict[int, Batch]] = defaultdict(dict)
+        self._outputs: list[DStream] = []
+        self._cache: dict[tuple[int, int], Batch] = {}
+        self._sources: dict[str, _Queue] = {}
+
+    def queue_stream(self, name: str) -> DStream:
+        if name in self._sources:
+            raise QueryValidationError(f"stream {name!r} already exists")
+        source = _Queue(self, name)
+        self._sources[name] = source
+        return source
+
+    def push(self, name: str, batch: Batch, window_id: int | None = None) -> None:
+        """Enqueue a batch for ``name`` in the given (default current) window."""
+        if name not in self._sources:
+            raise QueryValidationError(f"no such stream {name!r}")
+        wid = self.window_id if window_id is None else window_id
+        self._pending[name].setdefault(wid, []).extend(batch)
+
+    def advance(self) -> None:
+        """Close the current window: run every output action, then move on."""
+        for stream in self._outputs:
+            batch = stream._materialize(self.window_id)
+            for callback in stream._callbacks:
+                callback(batch)
+        for name in self._sources:
+            self._pending[name].pop(self.window_id, None)
+        self._cache = {k: v for k, v in self._cache.items() if k[1] > self.window_id}
+        self.window_id += 1

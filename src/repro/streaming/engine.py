@@ -1,0 +1,95 @@
+"""The stream-processor component driven by Sonata's runtime.
+
+The runtime registers one :class:`SubQueryRuntime` per planned sub-query
+instance (a sub-query at one refinement transition). Each window, the
+emitter delivers tuple batches; the engine executes the residual operators
+and assembles join trees, producing the per-query outputs that the runtime
+feeds back into the data plane as refinement filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.errors import PlanningError
+from repro.core.operators import Operator
+from repro.core.query import JoinNode, Query
+from repro.streaming.rowops import Row, apply_operators, assemble_join_tree
+
+
+@dataclass
+class SubQueryRuntime:
+    """Residual execution state for one planned sub-query instance."""
+
+    key: str
+    residual_ops: tuple[Operator, ...]
+    tuples_in: int = 0
+    tuples_out: int = 0
+
+    def process(
+        self, rows: list[Row], tables: Mapping[str, set] | None = None
+    ) -> list[Row]:
+        self.tuples_in += len(rows)
+        out = apply_operators(rows, self.residual_ops, tables)
+        self.tuples_out += len(out)
+        return out
+
+
+class StreamProcessor:
+    """Executes residual operators and joins for all registered instances."""
+
+    def __init__(self) -> None:
+        self._instances: dict[str, SubQueryRuntime] = {}
+        self.total_tuples_received = 0
+
+    # -- registration ----------------------------------------------------
+    def register(self, key: str, residual_ops: Sequence[Operator]) -> SubQueryRuntime:
+        if key in self._instances:
+            raise PlanningError(f"stream instance {key!r} already registered")
+        runtime = SubQueryRuntime(key=key, residual_ops=tuple(residual_ops))
+        self._instances[key] = runtime
+        return runtime
+
+    def instance(self, key: str) -> SubQueryRuntime:
+        try:
+            return self._instances[key]
+        except KeyError:
+            raise PlanningError(f"unknown stream instance {key!r}") from None
+
+    # -- execution ----------------------------------------------------------
+    def process(
+        self,
+        key: str,
+        rows: list[Row],
+        tables: Mapping[str, set] | None = None,
+    ) -> list[Row]:
+        """Run one instance's residual chain over a delivered batch."""
+        self.total_tuples_received += len(rows)
+        return self.instance(key).process(rows, tables)
+
+    def execute_join_tree(
+        self,
+        query: Query,
+        node: "int | JoinNode",
+        leaf_outputs: Mapping[int, "list[Row] | None"],
+        tables: Mapping[str, set] | None = None,
+    ) -> list[Row]:
+        """Assemble a query's join tree from per-leaf sub-query outputs.
+
+        ``leaf_outputs`` maps sub-query id → that sub-query's output rows
+        for the window (already passed through its residual operators).
+        A leaf mapped to ``None`` is inactive at the current refinement
+        level; the join degrades to the active side (see
+        :func:`repro.streaming.rowops.assemble_join_tree`).
+        """
+        rows = assemble_join_tree(node, leaf_outputs, tables)
+        return rows if rows is not None else []
+
+    # -- accounting ----------------------------------------------------------
+    def load_report(self) -> dict[str, dict[str, int]]:
+        """Tuples in/out per instance — the paper's headline metric."""
+        return {
+            key: {"tuples_in": inst.tuples_in, "tuples_out": inst.tuples_out}
+            for key, inst in self._instances.items()
+        }

@@ -1,0 +1,167 @@
+"""Row-wise execution of dataflow operators over dict tuples.
+
+This is the stream-processor-side interpreter: it executes the *residual*
+operators of a partitioned query over the (small) batches of tuples the
+switch mirrors up. The columnar engine in :mod:`repro.analytics` is the
+vectorized twin used for cost estimation; a tested invariant keeps the two
+semantics identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.core.errors import QueryValidationError
+from repro.core.operators import Distinct, Filter, Join, Map, Operator, Reduce
+
+Row = dict[str, Any]
+
+
+def _reduce_value_field(rows: list[Row], op: Reduce) -> str | None:
+    """The field being aggregated: explicit, or the single non-key field.
+
+    Mirrors :meth:`Reduce.resolved_value_field` but works from the observed
+    rows (the stream processor sees tuples, not schemas): when the switch
+    already produced partial aggregates, the partial-count field (op.out)
+    is the one to re-aggregate.
+    """
+    if op.value_field:
+        return op.value_field
+    if op.func == "count" or not rows:
+        return None
+    candidates = [name for name in rows[0] if name not in op.keys]
+    if len(candidates) == 1:
+        return candidates[0]
+    if op.out in candidates:
+        return op.out
+    if not candidates:
+        return None
+    raise QueryValidationError(
+        f"reduce({op.func}) is ambiguous over fields {sorted(rows[0])}; "
+        "pass value_field explicitly"
+    )
+
+
+def _apply_reduce(rows: list[Row], op: Reduce) -> list[Row]:
+    value_field = _reduce_value_field(rows, op)
+    grouped: dict[tuple, int] = {}
+    for row in rows:
+        key = tuple(row[k] for k in op.keys)
+        value = 1 if value_field is None else int(row[value_field])
+        if key not in grouped:
+            grouped[key] = 1 if op.func == "count" else value
+        elif op.func in ("sum", "count"):
+            grouped[key] += 1 if op.func == "count" else value
+        elif op.func == "max":
+            grouped[key] = max(grouped[key], value)
+        elif op.func == "min":
+            grouped[key] = min(grouped[key], value)
+        elif op.func == "or":
+            grouped[key] |= value
+    return [
+        {**dict(zip(op.keys, key)), op.out: value} for key, value in grouped.items()
+    ]
+
+
+def apply_operator(
+    rows: list[Row],
+    op: Operator,
+    tables: Mapping[str, set] | None = None,
+) -> list[Row]:
+    """Apply one operator to a batch of tuples, returning the new batch."""
+    if isinstance(op, Filter):
+        return [
+            row
+            for row in rows
+            if all(pred.evaluate(row, tables) for pred in op.predicates)
+        ]
+    if isinstance(op, Map):
+        return [
+            {expr.name: expr.evaluate(row) for expr in op.keys + op.values}
+            for row in rows
+        ]
+    if isinstance(op, Reduce):
+        return _apply_reduce(rows, op)
+    if isinstance(op, Distinct):
+        keys = op.keys or (tuple(rows[0].keys()) if rows else ())
+        seen: set[tuple] = set()
+        out: list[Row] = []
+        for row in rows:
+            key = tuple(row[k] for k in keys)
+            if key not in seen:
+                seen.add(key)
+                out.append({k: row[k] for k in keys})
+        return out
+    if isinstance(op, Join):
+        raise QueryValidationError(
+            "joins are executed by the stream processor engine, not apply_operator"
+        )
+    raise QueryValidationError(f"unsupported operator {op!r}")
+
+
+def apply_operators(
+    rows: list[Row],
+    operators: Sequence[Operator],
+    tables: Mapping[str, set] | None = None,
+) -> list[Row]:
+    """Apply a linear operator chain to a batch of tuples."""
+    for op in operators:
+        rows = apply_operator(rows, op, tables)
+    return rows
+
+
+def assemble_join_tree(
+    node,
+    leaf_outputs: Mapping[int, "list[Row] | None"],
+    tables: Mapping[str, set] | None = None,
+) -> "list[Row] | None":
+    """Evaluate a query's join tree from per-leaf sub-query outputs.
+
+    ``node`` is an ``int`` leaf id or a :class:`repro.core.query.JoinNode`.
+    A leaf mapped to ``None`` is *inactive* (e.g. a payload sub-query at a
+    coarse refinement level): the join degrades to the active side and the
+    post-join operators are skipped, so the active (stateful) side's keys
+    drive refinement — matching the Figure 9 case-study behaviour where
+    payload processing starts only at the finest level. Returns ``None``
+    only if every leaf under ``node`` is inactive.
+    """
+    from repro.core.query import JoinNode  # local import to avoid a cycle
+
+    if not isinstance(node, JoinNode):
+        return leaf_outputs.get(node)
+    left = assemble_join_tree(node.left, leaf_outputs, tables)
+    right = assemble_join_tree(node.right, leaf_outputs, tables)
+    if left is None and right is None:
+        return None
+    if left is None:
+        return right
+    if right is None:
+        return left
+    joined = join_rows(left, right, node.keys, node.how)
+    return apply_operators(joined, node.post_ops, tables)
+
+
+def join_rows(
+    left: list[Row],
+    right: list[Row],
+    keys: Sequence[str],
+    how: str = "inner",
+) -> list[Row]:
+    """Hash join of two tuple batches on ``keys``."""
+    index: dict[tuple, list[Row]] = {}
+    for row in right:
+        index.setdefault(tuple(row[k] for k in keys), []).append(row)
+    joined: list[Row] = []
+    for row in left:
+        key = tuple(row[k] for k in keys)
+        matches = index.get(key, [])
+        if not matches and how == "left":
+            joined.append(dict(row))
+        for match in matches:
+            merged = dict(row)
+            for name, value in match.items():
+                if name in keys:
+                    continue
+                merged[name if name not in merged else f"{name}_r"] = value
+            joined.append(merged)
+    return joined

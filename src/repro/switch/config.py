@@ -1,0 +1,87 @@
+"""Data-plane resource constraints (§3.2, Table 1).
+
+The paper characterizes a PISA switch by four scalars, all of which the
+query planner treats as hard constraints:
+
+- ``S``  — number of physical match-action stages (typically 1–32);
+- ``A``  — stateful actions per stage (typically 1–32);
+- ``B``  — register memory per stage, in bits (typically 0.5–32 Mb);
+- ``M``  — PHV metadata budget, in bits (PHVs are 0.5–8 Kb).
+
+The evaluation defaults (§6.1) are S=16, A=8, B=8 Mb per stage with at
+most 4 Mb for a single register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bits per megabit, for readable constructor calls.
+MB = 1_000_000
+KB = 1_000
+
+
+@dataclass(frozen=True)
+class SwitchConfig:
+    """Resource envelope of one PISA switch."""
+
+    stages: int = 16  # S
+    stateful_actions_per_stage: int = 8  # A
+    register_bits_per_stage: int = 8 * MB  # B
+    metadata_bits: int = 4 * KB * 8  # M (PHV metadata budget): 4 KB default
+    max_single_register_bits: int = 4 * MB  # one stateful op's cap within a stage
+    stateless_actions_per_stage: int = 150  # typical 100-200 (§3.2)
+    #: PHV budget for parsed *header* fields, separate from the query
+    #: metadata budget M (PHVs are 0.5–8 Kb total, §3.2).
+    phv_header_bits: int = 4 * KB
+
+    #: Capacity of each dynamic (refinement) filter table. Hardware match
+    #: tables are finite; when a refinement level produces more survivors
+    #: than fit, the runtime truncates the update and flags it — traffic of
+    #: the dropped prefixes is then missed until the population shrinks,
+    #: which is the honest hardware behaviour.
+    filter_table_capacity: int = 4_096
+
+    #: Default number of hash-indexed registers chained per stateful
+    #: operator (d in §3.1.3); the planner may override per operator.
+    default_hash_chain_depth: int = 2
+
+    #: Headroom factor when sizing register slots from the training-data
+    #: key estimate, so moderate traffic growth does not overflow.
+    register_headroom: float = 1.5
+
+    #: Control-plane timing model, measured on the Tofino in §6.2:
+    #: updating 200 filter-table entries takes ~127 ms; resetting
+    #: registers takes ~4 ms. Used by the update-overhead benchmark.
+    table_update_seconds_per_entry: float = 0.127 / 200
+    register_reset_seconds: float = 0.004
+
+    def __post_init__(self) -> None:
+        if self.stages < 1:
+            raise ValueError("a switch needs at least one stage")
+        if self.stateful_actions_per_stage < 0:
+            raise ValueError("stateful actions per stage cannot be negative")
+        if self.register_bits_per_stage < 0 or self.metadata_bits < 0:
+            raise ValueError("resource budgets cannot be negative")
+
+    def update_cost_seconds(self, n_entries: int, reset_registers: bool = True) -> float:
+        """Modelled control-plane latency for a refinement update."""
+        cost = n_entries * self.table_update_seconds_per_entry
+        if reset_registers:
+            cost += self.register_reset_seconds
+        return cost
+
+    @staticmethod
+    def paper_default() -> "SwitchConfig":
+        """The simulated switch used throughout §6 (S=16, A=8, B=8 Mb)."""
+        return SwitchConfig()
+
+    @staticmethod
+    def strawman() -> "SwitchConfig":
+        """The small illustrative switch of §3.3 (S=4, A=4, B=3,000 Kb)."""
+        return SwitchConfig(
+            stages=4,
+            stateful_actions_per_stage=4,
+            register_bits_per_stage=3_000 * KB,
+            max_single_register_bits=3_000 * KB,
+        )

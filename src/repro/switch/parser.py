@@ -1,0 +1,79 @@
+"""Programmable-parser model (§3.2 "Parser").
+
+PISA switches extract header fields into the PHV with a reconfigurable
+parse graph; the cost of parsing is "the number of bits to extract and the
+depth of the parsing tree", and the PHV bounds how much can be extracted.
+The simulator uses this model to (a) reject queries that reference fields
+no parser can extract at line rate (payloads), and (b) account the header
+portion of the PHV alongside the per-query metadata budget M.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import CompilationError
+from repro.core.fields import FIELDS, FieldRegistry
+
+#: Parse-tree depth per protocol: ethernet(0) -> ipv4(1) -> tcp/udp(2) ->
+#: dns(3). ``meta`` fields (frame length, timestamp) come from intrinsic
+#: metadata at depth 0.
+PROTOCOL_DEPTH: dict[str, int] = {
+    "meta": 0,
+    "ipv4": 1,
+    "tcp": 2,
+    "udp": 2,
+    "dns": 3,
+    "int": 1,  # custom metadata headers (e.g. in-band telemetry)
+}
+
+
+@dataclass
+class ParserConfig:
+    """The set of fields the parser must extract for installed queries."""
+
+    registry: FieldRegistry = field(default_factory=lambda: FIELDS)
+    fields: set[str] = field(default_factory=set)
+
+    def require(self, field_names: "set[str] | list[str]") -> None:
+        """Add fields; rejects fields a line-rate parser cannot extract."""
+        for name in field_names:
+            if name not in self.registry:
+                continue  # derived metadata, not a header field
+            spec = self.registry.get(name)
+            if not spec.switch_parseable:
+                raise CompilationError(
+                    f"field {name!r} cannot be parsed by a PISA parser at "
+                    "line rate; the operator reading it must run at the "
+                    "stream processor"
+                )
+            self.fields.add(name)
+
+    def release(self, field_names: "set[str] | list[str]") -> None:
+        for name in field_names:
+            self.fields.discard(name)
+
+    @property
+    def extracted_bits(self) -> int:
+        """Header bits the parser writes into the PHV."""
+        return sum(self.registry.get(name).width for name in self.fields)
+
+    @property
+    def parse_depth(self) -> int:
+        """Depth of the parse tree needed for the required fields."""
+        if not self.fields:
+            return 0
+        return max(
+            PROTOCOL_DEPTH.get(self.registry.get(name).protocol, 1)
+            for name in self.fields
+        )
+
+    def protocols(self) -> set[str]:
+        return {self.registry.get(name).protocol for name in self.fields}
+
+    def describe(self) -> str:
+        names = ", ".join(sorted(self.fields)) or "(none)"
+        return (
+            f"parser: {len(self.fields)} fields ({names}); "
+            f"{self.extracted_bits} bits, depth {self.parse_depth}"
+        )

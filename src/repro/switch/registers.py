@@ -1,0 +1,156 @@
+"""Hash-indexed register arrays with d-way collision chains (§3.1.3).
+
+True hash tables with collision resolution do not exist in PISA switches;
+Sonata instead uses a sequence of up to ``d`` register arrays, each indexed
+by a different hash of the key. The original key is stored alongside the
+value so collisions can be *detected*; a key that collides in all ``d``
+arrays overflows, and the packet is sent to the stream processor, which
+adjusts the aggregates at the end of the window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from repro.core.errors import ResourceExhaustedError
+from repro.utils.hashing import HashFamily
+
+#: ALU update functions a PISA stage supports for register values.
+_UPDATE_FUNCS: dict[str, Callable[[int, int], int]] = {
+    "sum": lambda old, arg: old + arg,
+    "count": lambda old, arg: old + 1,
+    "max": max,
+    "min": min,
+    "or": lambda old, arg: old | arg,
+}
+
+
+@dataclass(frozen=True)
+class RegisterSpec:
+    """Sizing of one stateful operator's register chain.
+
+    ``n_slots`` is the per-array slot count (from the planner's training-
+    data key estimate, with headroom), ``d`` the chain depth, ``key_bits``
+    and ``value_bits`` the stored widths. Total memory is
+    ``d * n_slots * (key_bits + value_bits)`` bits, all of which must fit
+    in a single stage's register budget.
+    """
+
+    name: str
+    n_slots: int
+    d: int
+    key_bits: int
+    value_bits: int = 32
+    seed: int = 0
+    #: True for the compiler's width-only placeholder; the planner must
+    #: replace it with a training-data-sized spec before installation.
+    placeholder: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_slots < 1:
+            raise ResourceExhaustedError(f"register {self.name}: no slots")
+        if self.d < 1:
+            raise ResourceExhaustedError(f"register {self.name}: chain depth < 1")
+
+    @property
+    def slot_bits(self) -> int:
+        return self.key_bits + self.value_bits
+
+    @property
+    def total_bits(self) -> int:
+        return self.d * self.n_slots * self.slot_bits
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of one per-packet register update."""
+
+    value: int
+    inserted: bool  # key was stored for the first time this window
+    overflowed: bool  # all d arrays collided; packet must go to the SP
+
+
+class RegisterChain:
+    """Simulates the d-array register chain for one stateful operator."""
+
+    def __init__(self, spec: RegisterSpec) -> None:
+        self.spec = spec
+        self._hashes = HashFamily(spec.d, spec.n_slots, seed=spec.seed)
+        # One dict per array: slot index -> (key, value). Dicts model the
+        # *contents* of the arrays; sizing/overflow behaviour follows the
+        # fixed n_slots geometry exactly.
+        self._arrays: list[dict[int, tuple[Hashable, int]]] = [
+            {} for _ in range(spec.d)
+        ]
+        self.updates = 0
+        self.overflows = 0
+
+    def update(self, key: Hashable, func: str, arg: int = 1) -> UpdateResult:
+        """Apply ``func`` for ``key``; walk the chain on collisions."""
+        try:
+            update_func = _UPDATE_FUNCS[func]
+        except KeyError:
+            raise ResourceExhaustedError(
+                f"register ALU does not support function {func!r}"
+            ) from None
+        self.updates += 1
+        for which in range(self.spec.d):
+            index = self._hashes.index(which, key)
+            slot = self._arrays[which].get(index)
+            if slot is None:
+                # First update of the key: the stored value starts from the
+                # argument itself (1 for counting) — min/max in particular
+                # must not fold with the zero-initialized register.
+                value = 1 if func == "count" else arg
+                self._arrays[which][index] = (key, value)
+                return UpdateResult(value=value, inserted=True, overflowed=False)
+            if slot[0] == key:
+                value = update_func(slot[1], arg)
+                self._arrays[which][index] = (key, value)
+                return UpdateResult(value=value, inserted=False, overflowed=False)
+        self.overflows += 1
+        return UpdateResult(value=0, inserted=False, overflowed=True)
+
+    def lookup(self, key: Hashable) -> int | None:
+        for which in range(self.spec.d):
+            slot = self._arrays[which].get(self._hashes.index(which, key))
+            if slot is not None and slot[0] == key:
+                return slot[1]
+        return None
+
+    def dump(self) -> dict[Hashable, int]:
+        """All stored (key, value) pairs — the end-of-window poll."""
+        out: dict[Hashable, int] = {}
+        for array in self._arrays:
+            for key, value in array.values():
+                out[key] = value
+        return out
+
+    def occupancy(self) -> int:
+        return sum(len(array) for array in self._arrays)
+
+    def reset(self) -> None:
+        """End-of-window register clear."""
+        for array in self._arrays:
+            array.clear()
+
+    @property
+    def collision_rate(self) -> float:
+        """Fraction of updates that overflowed the whole chain."""
+        if self.updates == 0:
+            return 0.0
+        return self.overflows / self.updates
+
+    def take_window_stats(self) -> tuple[int, int]:
+        """Return and reset (updates, overflows) — called at window end.
+
+        The runtime watches the per-window overflow rate: a sustained rate
+        well above the planner's sizing target means the switch is holding
+        many more keys than the training data predicted, which is the
+        §3.3/§5 signal to re-run the query planner.
+        """
+        stats = (self.updates, self.overflows)
+        self.updates = 0
+        self.overflows = 0
+        return stats

@@ -1,0 +1,528 @@
+"""Behavioural PISA switch simulator.
+
+Executes installed (partitioned, refined) sub-query instances packet by
+packet: filters drop, maps rewrite query metadata, stateful tables update
+hash-indexed register chains, and the report flag mirrors packets/tuples
+to the monitoring port (§3.1.3). Resource constraints (S, A, B, M) are
+verified when instances are installed, using the same accounting the
+query planner's ILP uses — an infeasible plan fails loudly here.
+
+Reporting semantics (faithful to §3.1.3):
+
+- if an instance's last on-switch operator is stateless, every surviving
+  packet is mirrored as a tuple;
+- if it is stateful, one report is emitted per key (on first insertion,
+  or on first crossing of a folded threshold), and the emitter reads the
+  final aggregate for reported keys from the registers at window end;
+- a packet whose key overflows all ``d`` registers of a chain is mirrored
+  raw (kind ``overflow``) so the stream processor can adjust results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.core.errors import ResourceExhaustedError
+from repro.core.operators import Distinct, Filter, Map, Operator, Reduce
+from repro.packets.packet import Packet
+from repro.switch.compiler import CompiledSubQuery
+from repro.switch.config import SwitchConfig
+from repro.switch.parser import ParserConfig
+from repro.switch.registers import RegisterChain, RegisterSpec
+from repro.switch.tables import LogicalTable
+
+
+@dataclass
+class MirroredTuple:
+    """One tuple sent from the switch to the stream processor."""
+
+    instance: str
+    kind: str  # "stream" (stateless-last), "key_report", "overflow"
+    fields: dict[str, Any]
+    op_index: int  # operators already applied when the tuple left the switch
+
+
+class _PacketTuple(dict):
+    """Lazy packet-field view: pulls header fields from the packet."""
+
+    def __init__(self, packet: Packet) -> None:
+        super().__init__()
+        self._packet = packet
+
+    def __missing__(self, key: str) -> Any:
+        value = self._packet.get(key)
+        self[key] = value
+        return value
+
+
+@dataclass
+class InstalledInstance:
+    """One sub-query instance resident in the pipeline."""
+
+    key: str
+    compiled: CompiledSubQuery
+    n_operators: int
+    tables: list[LogicalTable]
+    stage_of: dict[str, int]
+    chains: dict[int, RegisterChain] = field(default_factory=dict)  # op idx -> chain
+    folded_by_op: dict[int, Filter] = field(default_factory=dict)
+    reported_keys: set = field(default_factory=set)
+    packets_seen: int = 0
+    packets_surviving: int = 0
+    tuples_mirrored: int = 0
+
+    def __post_init__(self) -> None:
+        for table in self.tables:
+            if table.stateful:
+                if table.register is None:
+                    raise ResourceExhaustedError(
+                        f"{self.key}: stateful table {table.name} has no register sizing"
+                    )
+                self.chains[table.operator_index] = RegisterChain(table.register)
+                if table.folded_filter is not None:
+                    self.folded_by_op[table.operator_index] = table.folded_filter
+
+    @property
+    def last_op_stateful(self) -> bool:
+        return self.compiled.last_operator_stateful(self.n_operators)
+
+    def metadata_bits(self) -> int:
+        return self.compiled.metadata_bits(self.n_operators)
+
+
+class PISASwitch:
+    """A PISA switch holding installed query instances."""
+
+    def __init__(self, config: SwitchConfig | None = None) -> None:
+        self.config = config or SwitchConfig.paper_default()
+        self.instances: dict[str, InstalledInstance] = {}
+        self.parser = ParserConfig()
+        self.filter_tables: dict[str, set] = {}
+        self.packets_processed = 0
+        self.tuples_mirrored = 0
+        self.control_plane_seconds = 0.0
+        #: Per-instance (register updates, overflows) of the last closed
+        #: window — the re-training signal of §5.
+        self.window_overflow_stats: dict[str, tuple[int, int]] = {}
+        #: Closed-loop mitigation: (field, value) pairs dropped at ingress
+        #: before any query processing (see repro.runtime.reaction).
+        self.drop_rules: set[tuple[str, Any]] = set()
+        self.packets_dropped = 0
+        #: Times a refinement update exceeded the filter-table capacity.
+        self.filter_table_truncations = 0
+
+    # ------------------------------------------------------------------
+    # Installation and resource verification
+    # ------------------------------------------------------------------
+    def install(
+        self,
+        key: str,
+        compiled: CompiledSubQuery,
+        n_operators: int,
+        sized_tables: list[LogicalTable] | None = None,
+        stage_assignment: Mapping[str, int] | None = None,
+    ) -> InstalledInstance:
+        """Install a sub-query instance cut after ``n_operators``.
+
+        ``sized_tables`` must carry register sizing for stateful tables
+        (the planner provides it); ``stage_assignment`` maps table name →
+        stage. Without an assignment, tables are placed first-fit in
+        strictly increasing stages (C4). All constraints of §3.2 are
+        verified; violations raise :class:`ResourceExhaustedError`.
+        """
+        if key in self.instances:
+            raise ResourceExhaustedError(f"instance {key!r} already installed")
+        if n_operators > compiled.compilable_operators:
+            raise ResourceExhaustedError(
+                f"{key}: cut {n_operators} exceeds compilable prefix "
+                f"({compiled.compilable_operators} operators)"
+            )
+        tables = sized_tables or compiled.tables_for_partition(n_operators)
+        expected = {t.name for t in compiled.tables_for_partition(n_operators)}
+        if {t.name for t in tables} != expected:
+            raise ResourceExhaustedError(
+                f"{key}: sized tables do not match the partition cut"
+            )
+
+        if stage_assignment is None:
+            stage_assignment = self._first_fit(tables)
+        self._verify(key, compiled, n_operators, tables, stage_assignment)
+
+        # Extend the parser with the header fields this instance reads and
+        # check the PHV header budget (§3.2 "Parser").
+        header_fields = self._header_fields(compiled, n_operators)
+        self.parser.require(header_fields)
+        if self.parser.extracted_bits > self.config.phv_header_bits:
+            self.parser.release(
+                header_fields - self._header_fields_in_use(exclude=key)
+            )
+            raise ResourceExhaustedError(
+                f"{key}: parser would extract {self.parser.extracted_bits} "
+                f"header bits, over the PHV budget of "
+                f"{self.config.phv_header_bits}"
+            )
+
+        instance = InstalledInstance(
+            key=key,
+            compiled=compiled,
+            n_operators=n_operators,
+            tables=tables,
+            stage_of=dict(stage_assignment),
+        )
+        self.instances[key] = instance
+        for table in tables:
+            if table.dynamic_table is not None:
+                self.filter_tables.setdefault(table.dynamic_table, set())
+        return instance
+
+    @staticmethod
+    def _header_fields(compiled: CompiledSubQuery, n_operators: int) -> set[str]:
+        fields: set[str] = set()
+        for op in compiled.subquery.operators[:n_operators]:
+            for name in op.input_fields():
+                if name in compiled.registry:
+                    fields.add(name)
+        return fields
+
+    def _header_fields_in_use(self, exclude: str | None = None) -> set[str]:
+        fields: set[str] = set()
+        for key, inst in self.instances.items():
+            if key == exclude:
+                continue
+            fields |= self._header_fields(inst.compiled, inst.n_operators)
+        return fields
+
+    def uninstall(self, key: str) -> None:
+        self.instances.pop(key, None)
+        # Recompute the parser program from the remaining instances.
+        self.parser = ParserConfig()
+        self.parser.require(self._header_fields_in_use())
+
+    def _stage_usage(self) -> tuple[dict[int, int], dict[int, int], dict[int, int]]:
+        """(stateful count, register bits, table count) per stage, current."""
+        stateful: dict[int, int] = {}
+        bits: dict[int, int] = {}
+        count: dict[int, int] = {}
+        for inst in self.instances.values():
+            for table in inst.tables:
+                stage = inst.stage_of[table.name]
+                count[stage] = count.get(stage, 0) + 1
+                if table.stateful:
+                    stateful[stage] = stateful.get(stage, 0) + 1
+                    bits[stage] = bits.get(stage, 0) + table.register_bits
+        return stateful, bits, count
+
+    def _first_fit(self, tables: list[LogicalTable]) -> dict[str, int]:
+        stateful, bits, count = self._stage_usage()
+        assignment: dict[str, int] = {}
+        stage = -1
+        for table in tables:
+            stage += 1
+            while True:
+                if stage >= self.config.stages:
+                    raise ResourceExhaustedError(
+                        f"no stage available for table {table.name}"
+                    )
+                ok = count.get(stage, 0) < self.config.stateless_actions_per_stage
+                if table.stateful:
+                    ok = ok and stateful.get(stage, 0) < self.config.stateful_actions_per_stage
+                    ok = ok and (
+                        bits.get(stage, 0) + table.register_bits
+                        <= self.config.register_bits_per_stage
+                    )
+                if ok:
+                    break
+                stage += 1
+            assignment[table.name] = stage
+            count[stage] = count.get(stage, 0) + 1
+            if table.stateful:
+                stateful[stage] = stateful.get(stage, 0) + 1
+                bits[stage] = bits.get(stage, 0) + table.register_bits
+        return assignment
+
+    def _verify(
+        self,
+        key: str,
+        compiled: CompiledSubQuery,
+        n_operators: int,
+        tables: list[LogicalTable],
+        assignment: Mapping[str, int],
+    ) -> None:
+        previous = -1
+        for table in tables:
+            stage = assignment.get(table.name)
+            if stage is None:
+                raise ResourceExhaustedError(f"{key}: table {table.name} unassigned")
+            if not 0 <= stage < self.config.stages:
+                raise ResourceExhaustedError(
+                    f"{key}: stage {stage} outside 0..{self.config.stages - 1} (C3)"
+                )
+            if stage <= previous:
+                raise ResourceExhaustedError(
+                    f"{key}: table {table.name} breaks intra-query ordering (C4)"
+                )
+            previous = stage
+            if table.stateful:
+                if table.register is None or table.register.placeholder:
+                    raise ResourceExhaustedError(
+                        f"{key}: stateful table {table.name} lacks register sizing"
+                    )
+                if table.register_bits > self.config.max_single_register_bits:
+                    raise ResourceExhaustedError(
+                        f"{key}: register {table.register.name} exceeds the "
+                        "single-register cap"
+                    )
+
+        stateful, bits, count = self._stage_usage()
+        for table in tables:
+            stage = assignment[table.name]
+            count[stage] = count.get(stage, 0) + 1
+            if count[stage] > self.config.stateless_actions_per_stage:
+                raise ResourceExhaustedError(
+                    f"{key}: stage {stage} exceeds the per-stage action budget"
+                )
+            if table.stateful:
+                stateful[stage] = stateful.get(stage, 0) + 1
+                bits[stage] = bits.get(stage, 0) + table.register_bits
+                if stateful[stage] > self.config.stateful_actions_per_stage:
+                    raise ResourceExhaustedError(
+                        f"{key}: stage {stage} exceeds A="
+                        f"{self.config.stateful_actions_per_stage} (C2)"
+                    )
+                if bits[stage] > self.config.register_bits_per_stage:
+                    raise ResourceExhaustedError(
+                        f"{key}: stage {stage} exceeds B="
+                        f"{self.config.register_bits_per_stage} bits (C1)"
+                    )
+
+        metadata = compiled.metadata_bits(n_operators) + sum(
+            inst.metadata_bits() for inst in self.instances.values()
+        )
+        if metadata > self.config.metadata_bits:
+            raise ResourceExhaustedError(
+                f"{key}: PHV metadata budget exceeded "
+                f"({metadata} > {self.config.metadata_bits} bits) (C5)"
+            )
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def update_filter_table(self, name: str, entries: Iterable) -> float:
+        """Replace a dynamic filter table's contents (refinement update).
+
+        Returns the modelled control-plane latency, which is also
+        accumulated on :attr:`control_plane_seconds`. Updates larger than
+        the hardware table capacity are truncated deterministically and
+        counted in :attr:`filter_table_truncations`.
+        """
+        entries = set(entries)
+        capacity = self.config.filter_table_capacity
+        if len(entries) > capacity:
+            entries = set(sorted(entries, key=repr)[:capacity])
+            self.filter_table_truncations += 1
+        self.filter_tables[name] = entries
+        cost = self.config.update_cost_seconds(len(entries), reset_registers=False)
+        self.control_plane_seconds += cost
+        return cost
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def add_drop_rule(self, field: str, value: Any) -> float:
+        """Install an ingress ACL drop rule (closed-loop mitigation)."""
+        self.drop_rules.add((field, value))
+        cost = self.config.update_cost_seconds(1, reset_registers=False)
+        self.control_plane_seconds += cost
+        return cost
+
+    def remove_drop_rule(self, field: str, value: Any) -> None:
+        self.drop_rules.discard((field, value))
+
+    def process_packet(self, packet: Packet) -> list[MirroredTuple]:
+        """Run one packet through every installed instance."""
+        if self.drop_rules:
+            for field, value in self.drop_rules:
+                if packet.get(field) == value:
+                    self.packets_dropped += 1
+                    return []
+        self.packets_processed += 1
+        mirrored: list[MirroredTuple] = []
+        for inst in self.instances.values():
+            result = self._process_instance(inst, packet)
+            if result is not None:
+                mirrored.append(result)
+                inst.tuples_mirrored += 1
+        self.tuples_mirrored += len(mirrored)
+        return mirrored
+
+    def _process_instance(
+        self, inst: InstalledInstance, packet: Packet
+    ) -> MirroredTuple | None:
+        inst.packets_seen += 1
+        tup: dict[str, Any] = _PacketTuple(packet)
+        ops = inst.compiled.subquery.operators[: inst.n_operators]
+        schemas = inst.compiled.schemas
+        i = 0
+        while i < len(ops):
+            op = ops[i]
+            if isinstance(op, Filter):
+                if i - 1 in inst.folded_by_op:
+                    # This threshold filter was folded into the previous
+                    # reduce's update table; reporting handled there.
+                    i += 1
+                    continue
+                if not all(p.evaluate(tup, self.filter_tables) for p in op.predicates):
+                    return None
+                i += 1
+                continue
+            if isinstance(op, Map):
+                tup = {expr.name: expr.evaluate(tup) for expr in op.keys + op.values}
+                i += 1
+                continue
+            if isinstance(op, Distinct):
+                keys = op.effective_keys(schemas[i])
+                key = tuple(tup[k] for k in keys)
+                result = inst.chains[i].update(key, "or", 1)
+                if result.overflowed:
+                    return MirroredTuple(
+                        instance=inst.key,
+                        kind="overflow",
+                        fields={k: tup[k] for k in keys},
+                        op_index=i,
+                    )
+                if not result.inserted:
+                    return None  # duplicate: only the first packet continues
+                tup = {k: tup[k] for k in keys}
+                if i == len(ops) - 1:
+                    # Last operator: report each distinct key once.
+                    inst.reported_keys.add((i, key))
+                    return None  # reported at window end from the registers
+                i += 1
+                continue
+            if isinstance(op, Reduce):
+                schema_in = schemas[i]
+                value_field = op.resolved_value_field(schema_in)
+                arg = 1 if value_field is None else int(tup[value_field])
+                key = tuple(tup[k] for k in op.keys)
+                func = "count" if value_field is None and op.func == "sum" else op.func
+                result = inst.chains[i].update(key, func, arg)
+                if result.overflowed:
+                    fields = {k: tup[k] for k in op.keys}
+                    fields[op.out] = arg if func != "count" else 1
+                    return MirroredTuple(
+                        instance=inst.key,
+                        kind="overflow",
+                        fields=fields,
+                        op_index=i,
+                    )
+                folded = inst.folded_by_op.get(i)
+                if folded is not None:
+                    probe = dict(zip(op.keys, key))
+                    probe[op.out] = result.value
+                    if all(p.evaluate(probe) for p in folded.predicates):
+                        inst.reported_keys.add((i, key))
+                elif result.inserted:
+                    inst.reported_keys.add((i, key))
+                return None  # reduce ends the on-switch pipeline (per packet)
+            raise ResourceExhaustedError(f"operator {op!r} cannot run on the switch")
+
+        # Stateless-last instance: the surviving packet is mirrored.
+        inst.packets_surviving += 1
+        schema = schemas[inst.n_operators]
+        fields = {name: tup[name] for name in schema.fields}
+        if "payload" in schema.fields:
+            fields["payload"] = packet.payload or b""
+        return MirroredTuple(
+            instance=inst.key, kind="stream", fields=fields, op_index=inst.n_operators
+        )
+
+    # ------------------------------------------------------------------
+    # Window lifecycle
+    # ------------------------------------------------------------------
+    def end_window(
+        self, full_dump: "set[str] | None" = None
+    ) -> dict[str, list[MirroredTuple]]:
+        """Close the window: emit per-key reports and reset registers.
+
+        Returns, per instance, the ``key_report`` tuples the emitter reads
+        from the registers (final aggregates for reported keys).
+
+        ``full_dump`` names instances whose registers must be polled in
+        full, *without* folded-threshold gating, with ``op_index`` set to
+        just after the stateful operator. The emitter requests this for
+        instances that saw register overflow, so switch-side partial
+        aggregates can be merged with the overflow tuples before the
+        threshold is re-applied (the §3.1.3 collision adjustment).
+        """
+        full_dump = full_dump or set()
+        reports: dict[str, list[MirroredTuple]] = {}
+        for inst in self.instances.values():
+            out: list[MirroredTuple] = []
+            if inst.n_operators > 0 and inst.last_op_stateful:
+                last_idx = max(inst.chains) if inst.chains else None
+                if last_idx is not None:
+                    op = inst.compiled.subquery.operators[last_idx]
+                    dump = inst.chains[last_idx].dump()
+                    if inst.key in full_dump:
+                        wanted = [(last_idx, key) for key in dump]
+                        op_end = last_idx + 1  # before any folded filter
+                    else:
+                        wanted = sorted(inst.reported_keys)
+                        op_end = self._reported_op_end(inst, last_idx)
+                    for op_i, key in wanted:
+                        if op_i != last_idx:
+                            continue
+                        value = dump.get(key)
+                        if value is None:
+                            continue
+                        if isinstance(op, Reduce):
+                            fields = dict(zip(op.keys, key))
+                            fields[op.out] = value
+                        else:
+                            keys = op.effective_keys(inst.compiled.schemas[op_i])
+                            fields = dict(zip(keys, key))
+                        out.append(
+                            MirroredTuple(
+                                instance=inst.key,
+                                kind="key_report",
+                                fields=fields,
+                                op_index=op_end,
+                            )
+                        )
+            inst.tuples_mirrored += len(out)
+            self.tuples_mirrored += len(out)
+            reports[inst.key] = out
+            updates = overflows = 0
+            for chain in inst.chains.values():
+                window_updates, window_overflows = chain.take_window_stats()
+                updates += window_updates
+                overflows += window_overflows
+                chain.reset()
+            self.window_overflow_stats[inst.key] = (updates, overflows)
+            inst.reported_keys.clear()
+            self.control_plane_seconds += self.config.register_reset_seconds
+        return reports
+
+    def _reported_op_end(self, inst: InstalledInstance, op_index: int) -> int:
+        """Operators consumed by a key report (fold includes the filter)."""
+        if op_index in inst.folded_by_op:
+            return op_index + 2
+        return op_index + 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def resource_usage(self) -> dict[str, Any]:
+        stateful, bits, count = self._stage_usage()
+        return {
+            "stages_used": sorted(count),
+            "stateful_per_stage": stateful,
+            "register_bits_per_stage": bits,
+            "tables_per_stage": count,
+            "metadata_bits": sum(
+                inst.metadata_bits() for inst in self.instances.values()
+            ),
+            "parser_header_bits": self.parser.extracted_bits,
+            "parse_depth": self.parser.parse_depth,
+        }

@@ -1,0 +1,18 @@
+"""Shared utilities: IP helpers, deterministic hashing, sampling, LoC counting."""
+
+from repro.utils.iputil import (
+    format_ip,
+    parse_ip,
+    prefix_mask,
+    prefix_of,
+)
+from repro.utils.hashing import HashFamily, stable_hash
+
+__all__ = [
+    "parse_ip",
+    "format_ip",
+    "prefix_mask",
+    "prefix_of",
+    "stable_hash",
+    "HashFamily",
+]

@@ -1,0 +1,98 @@
+"""Deterministic, seedable integer hashing.
+
+The switch simulator indexes register arrays with a family of ``d``
+independent hash functions (Section 3.1.3 of the paper: a sequence of up to
+``d`` registers, each with a different hash function, mitigates collisions).
+Python's builtin ``hash`` is salted per process, so we implement a stable
+mix based on splitmix64, which has excellent avalanche behaviour and is
+cheap enough for per-packet use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+# Odd 64-bit constants from the splitmix64 reference implementation.
+_GAMMA = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def _splitmix64(value: int) -> int:
+    value = (value + _GAMMA) & _MASK64
+    value = ((value ^ (value >> 30)) * _MIX1) & _MASK64
+    value = ((value ^ (value >> 27)) * _MIX2) & _MASK64
+    return value ^ (value >> 31)
+
+
+def stable_hash(key: int | bytes | str | tuple, seed: int = 0) -> int:
+    """Hash ``key`` to a 64-bit integer, deterministically across processes.
+
+    Tuples are hashed by folding their elements; bytes/str are folded
+    8 bytes at a time. Equal inputs always produce equal outputs for a given
+    ``seed``; distinct seeds give (empirically) independent functions.
+    """
+    state = _splitmix64(seed ^ 0xA5A5A5A5A5A5A5A5)
+    for chunk in _iter_chunks(key):
+        state = _splitmix64(state ^ chunk)
+    return state
+
+
+def _iter_chunks(key: int | bytes | str | tuple) -> Iterable[int]:
+    if isinstance(key, bool):  # bool is an int subclass; normalize explicitly
+        yield int(key)
+    elif isinstance(key, int):
+        # Fold arbitrarily large ints 64 bits at a time.
+        if key < 0:
+            yield 0x5A5A5A5A5A5A5A5A
+            key = -key
+        while True:
+            yield key & _MASK64
+            key >>= 64
+            if not key:
+                break
+    elif isinstance(key, str):
+        yield from _iter_chunks(key.encode("utf-8"))
+    elif isinstance(key, (bytes, bytearray)):
+        data = bytes(key)
+        yield 0x6279746573  # tag so b"" != 0
+        yield len(data)
+        for offset in range(0, len(data), 8):
+            yield int.from_bytes(data[offset : offset + 8], "little")
+    elif isinstance(key, tuple):
+        yield 0x7461706C65  # tag so ("a",) != "a"
+        yield len(key)
+        for element in key:
+            for chunk in _iter_chunks(element):
+                yield chunk
+    else:
+        raise TypeError(f"unhashable key type for stable_hash: {type(key)!r}")
+
+
+class HashFamily:
+    """A family of ``d`` independent hash functions onto ``[0, n_slots)``.
+
+    Used by :class:`repro.switch.registers.RegisterChain` to index the
+    sequence of register arrays, and by the collision-rate model in
+    :mod:`repro.planner.collisions`.
+    """
+
+    def __init__(self, d: int, n_slots: int, seed: int = 0) -> None:
+        if d < 1:
+            raise ValueError("hash family needs at least one function")
+        if n_slots < 1:
+            raise ValueError("hash range must be positive")
+        self.d = d
+        self.n_slots = n_slots
+        self.seed = seed
+        self._seeds = [_splitmix64(seed + 0x1000 * (i + 1)) for i in range(d)]
+
+    def index(self, which: int, key: int | bytes | str | tuple) -> int:
+        """Return the slot index of ``key`` under hash function ``which``."""
+        return stable_hash(key, seed=self._seeds[which]) % self.n_slots
+
+    def indices(self, key: int | bytes | str | tuple) -> list[int]:
+        """Return the slot index of ``key`` under every function in order."""
+        return [self.index(i, key) for i in range(self.d)]

@@ -1,0 +1,72 @@
+"""IPv4 address helpers.
+
+Addresses are represented as unsigned 32-bit integers throughout the code
+base (this is also how the switch data plane sees them); these helpers
+convert to and from dotted-quad strings and apply prefix masks, which is the
+operation at the heart of Sonata's hierarchical query refinement.
+"""
+
+from __future__ import annotations
+
+_MAX_IPV4 = 0xFFFFFFFF
+
+
+def parse_ip(text: str) -> int:
+    """Parse a dotted-quad IPv4 string into a 32-bit integer.
+
+    >>> parse_ip("10.0.0.1")
+    167772161
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted-quad IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ip(value: int) -> str:
+    """Format a 32-bit integer as a dotted-quad IPv4 string.
+
+    >>> format_ip(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= _MAX_IPV4:
+        raise ValueError(f"not a 32-bit value: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def prefix_mask(prefix_len: int, width: int = 32) -> int:
+    """Return the bitmask selecting the top ``prefix_len`` bits of ``width``.
+
+    >>> hex(prefix_mask(8))
+    '0xff000000'
+    >>> prefix_mask(0)
+    0
+    """
+    if not 0 <= prefix_len <= width:
+        raise ValueError(f"prefix length {prefix_len} out of [0, {width}]")
+    if prefix_len == 0:
+        return 0
+    return ((1 << prefix_len) - 1) << (width - prefix_len)
+
+
+def prefix_of(value: int, prefix_len: int, width: int = 32) -> int:
+    """Mask ``value`` down to its top ``prefix_len`` bits.
+
+    This is the coarsening operation used by dynamic refinement: replacing a
+    /32 destination address with its /8 prefix, for example.
+
+    >>> format_ip(prefix_of(parse_ip("10.1.2.3"), 8))
+    '10.0.0.0'
+    """
+    return value & prefix_mask(prefix_len, width)
+
+
+def format_prefix(value: int, prefix_len: int) -> str:
+    """Format a masked address as CIDR notation, e.g. ``10.0.0.0/8``."""
+    return f"{format_ip(prefix_of(value, prefix_len))}/{prefix_len}"

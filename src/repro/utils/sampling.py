@@ -1,0 +1,49 @@
+"""Heavy-tailed samplers for the synthetic backbone-traffic generator.
+
+Backbone traffic (the paper uses CAIDA's Seattle–Chicago link) has Zipfian
+endpoint popularity and heavy-tailed flow sizes; the telemetry queries'
+"needle in a haystack" property depends on those tails, so the generator
+reproduces them with the samplers below.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ZipfSampler:
+    """Sample ranks 0..n-1 with probability proportional to 1/(rank+1)^alpha.
+
+    Unlike ``numpy.random.zipf`` this is bounded (finite support), which
+    matches sampling from a finite population of hosts or flows, and it
+    supports alpha <= 1.
+    """
+
+    def __init__(self, n: int, alpha: float, rng: np.random.Generator) -> None:
+        if n < 1:
+            raise ValueError("support size must be positive")
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.n = n
+        self.alpha = alpha
+        self._rng = rng
+        weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), alpha)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+
+    def sample(self, count: int) -> np.ndarray:
+        """Draw ``count`` ranks as an int64 array."""
+        uniform = self._rng.random(count)
+        return np.searchsorted(self._cdf, uniform, side="left").astype(np.int64)
+
+
+def pareto_sizes(
+    count: int,
+    rng: np.random.Generator,
+    shape: float = 1.2,
+    minimum: int = 1,
+    maximum: int = 100_000,
+) -> np.ndarray:
+    """Draw ``count`` heavy-tailed flow sizes (in packets), clipped to a range."""
+    raw = (rng.pareto(shape, count) + 1.0) * minimum
+    return np.clip(raw, minimum, maximum).astype(np.int64)

@@ -1,0 +1,50 @@
+"""Shared fixtures: small deterministic traces and queries.
+
+Session-scoped where construction is expensive; all fixtures are
+deterministic (fixed seeds) so failures reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.expressions import Const
+from repro.core.fields import TCP_SYN
+from repro.core.query import PacketStream, Query
+from repro.packets import BackboneConfig, Trace, generate_backbone
+from repro.packets import attacks
+
+#: Victim used across attack fixtures (10.0.0.1).
+VICTIM = 0x0A000001
+
+
+@pytest.fixture(scope="session")
+def backbone_small() -> Trace:
+    """~6k packets over 6 seconds — enough structure, fast to process."""
+    return generate_backbone(BackboneConfig(duration=6.0, pps=1_000, seed=42))
+
+
+@pytest.fixture(scope="session")
+def backbone_medium() -> Trace:
+    """~36k packets over 12 seconds — planner-grade training data."""
+    return generate_backbone(BackboneConfig(duration=12.0, pps=3_000, seed=43))
+
+
+@pytest.fixture(scope="session")
+def synflood_trace(backbone_small: Trace) -> Trace:
+    attack = attacks.syn_flood(
+        VICTIM, start=0.0, duration=6.0, pps=120.0, seed=1
+    )
+    return Trace.merge([backbone_small, attack])
+
+
+@pytest.fixture()
+def newly_opened_query() -> Query:
+    stream = (
+        PacketStream(name="newly_opened", window=3.0)
+        .filter(("tcp.flags", "eq", TCP_SYN))
+        .map(keys=("ipv4.dIP",), values=(Const(1),))
+        .reduce(keys=("ipv4.dIP",), func="sum")
+        .filter(("count", "gt", 100))
+    )
+    return Query(stream)

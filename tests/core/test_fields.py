@@ -1,0 +1,82 @@
+"""Tests for the field registry and coarsening."""
+
+import pytest
+
+from repro.core.errors import QueryValidationError
+from repro.core.fields import (
+    FIELDS,
+    FieldRegistry,
+    FieldSpec,
+    coarsen_value,
+)
+from repro.utils.iputil import parse_ip
+
+
+class TestRegistry:
+    def test_known_fields_present(self):
+        for name in ("ipv4.sIP", "ipv4.dIP", "tcp.flags", "pktlen", "payload"):
+            assert name in FIELDS
+
+    def test_unknown_field_raises_with_suggestions(self):
+        with pytest.raises(QueryValidationError) as exc:
+            FIELDS.get("ipv4.dst")
+        assert "ipv4.dIP" in str(exc.value)
+
+    def test_payload_not_switch_parseable(self):
+        assert not FIELDS.get("payload").switch_parseable
+        assert FIELDS.get("ipv4.dIP").switch_parseable
+
+    def test_hierarchy(self):
+        assert FIELDS.get("ipv4.dIP").hierarchical
+        assert FIELDS.get("ipv4.dIP").hierarchy[-1] == 32
+        assert not FIELDS.get("tcp.flags").hierarchical
+
+    def test_register_duplicate_rejected(self):
+        registry = FieldRegistry()
+        registry.register(FieldSpec("x", 8, "x"))
+        with pytest.raises(QueryValidationError):
+            registry.register(FieldSpec("x", 8, "x"))
+
+    def test_register_zero_width_rejected(self):
+        registry = FieldRegistry()
+        with pytest.raises(QueryValidationError):
+            registry.register(FieldSpec("x", 0, "x"))
+
+    def test_extensibility(self):
+        registry = FieldRegistry()
+        spec = registry.register(
+            FieldSpec("custom.queue_depth", 24, "queue_depth", protocol="int")
+        )
+        assert registry.get("custom.queue_depth") is spec
+        assert "custom.queue_depth" in registry.names()
+
+    def test_columns_mapping(self):
+        columns = FIELDS.columns()
+        assert columns["ipv4.dIP"] == "dip"
+        assert columns["udp.sPort"] == "sport"
+
+
+class TestCoarsen:
+    def test_ip_levels(self):
+        spec = FIELDS.get("ipv4.dIP")
+        addr = parse_ip("10.1.2.3")
+        assert coarsen_value(spec, addr, 8) == parse_ip("10.0.0.0")
+        assert coarsen_value(spec, addr, 32) == addr
+        assert coarsen_value(spec, addr, 0) == 0
+
+    def test_ip_level_out_of_range(self):
+        spec = FIELDS.get("ipv4.dIP")
+        with pytest.raises(QueryValidationError):
+            coarsen_value(spec, 1, 33)
+
+    def test_dns_name_levels(self):
+        spec = FIELDS.get("dns.rr.name")
+        name = "a.b.example.com"
+        assert coarsen_value(spec, name, 1) == "com"
+        assert coarsen_value(spec, name, 2) == "example.com"
+        assert coarsen_value(spec, name, 4) == "a.b.example.com"
+        assert coarsen_value(spec, name, 0) == "."
+
+    def test_non_hierarchical_rejected(self):
+        with pytest.raises(QueryValidationError):
+            coarsen_value(FIELDS.get("tcp.flags"), 2, 4)

@@ -1,0 +1,139 @@
+"""Tests for PacketStream chaining and Query decomposition."""
+
+import pytest
+
+from repro.core.errors import QueryValidationError
+from repro.core.expressions import Const, Ratio
+from repro.core.fields import TCP_SYN
+from repro.core.query import JoinNode, PacketStream, Query
+
+
+def simple_stream():
+    return (
+        PacketStream(name="q")
+        .filter(("tcp.flags", "eq", TCP_SYN))
+        .map(keys=("ipv4.dIP",), values=(Const(1),))
+        .reduce(keys=("ipv4.dIP",), func="sum")
+        .filter(("count", "gt", 10))
+    )
+
+
+class TestPacketStream:
+    def test_chaining_is_immutable(self):
+        base = PacketStream(name="base")
+        extended = base.filter(("ipv4.proto", "eq", 6))
+        assert base.operators == ()
+        assert len(extended.operators) == 1
+        assert extended.qid == base.qid
+
+    def test_output_schema(self):
+        assert simple_stream().output_schema().fields == ("ipv4.dIP", "count")
+
+    def test_validate_catches_bad_chain(self):
+        bad = PacketStream(name="bad").reduce(keys=("missing",), func="sum")
+        with pytest.raises(QueryValidationError):
+            bad.validate()
+
+    def test_validate_recurses_into_joins(self):
+        bad_right = PacketStream(name="r").map(keys=("missing",))
+        stream = simple_stream().join(bad_right, keys=("ipv4.dIP",))
+        with pytest.raises(QueryValidationError):
+            stream.validate()
+
+    def test_filter_clause_forms(self):
+        from repro.core.operators import Predicate
+
+        stream = PacketStream(name="q").filter(
+            Predicate("tcp.dPort", "eq", 22), ("ipv4.proto", "eq", 6)
+        )
+        assert len(stream.operators[0].predicates) == 2
+
+    def test_bad_filter_clause_rejected(self):
+        with pytest.raises(QueryValidationError):
+            PacketStream(name="q").filter("not-a-clause")
+
+    def test_describe_mentions_operators(self):
+        text = simple_stream().describe()
+        assert "filter" in text and "reduce" in text
+
+    def test_unique_qids(self):
+        assert PacketStream().qid != PacketStream().qid
+
+
+class TestQueryDecomposition:
+    def test_linear_query_single_subquery(self):
+        query = Query(simple_stream())
+        assert len(query.subqueries) == 1
+        assert not query.has_join
+        assert query.join_tree == 0
+
+    def test_single_join(self):
+        right = (
+            PacketStream(name="r")
+            .map(keys=("ipv4.dIP",), values=("pktlen",))
+            .reduce(keys=("ipv4.dIP",), func="sum", out="bytes")
+        )
+        stream = (
+            simple_stream()
+            .join(right, keys=("ipv4.dIP",))
+            .map(keys=("ipv4.dIP",), values=(Ratio("count", "bytes", "r"),))
+            .filter(("r", "gt", 1))
+        )
+        query = Query(stream)
+        assert len(query.subqueries) == 2
+        assert isinstance(query.join_tree, JoinNode)
+        assert query.join_tree.left == 0
+        assert query.join_tree.right == 1
+        assert len(query.join_tree.post_ops) == 2
+
+    def test_nested_join(self):
+        inner_right = (
+            PacketStream(name="ir")
+            .map(keys=("ipv4.dIP",), values=(Const(1, "a"),))
+            .reduce(keys=("ipv4.dIP",), func="sum", out="a")
+        )
+        right = (
+            PacketStream(name="r")
+            .map(keys=("ipv4.dIP",), values=(Const(1, "b"),))
+            .reduce(keys=("ipv4.dIP",), func="sum", out="b")
+            .join(inner_right, keys=("ipv4.dIP",))
+        )
+        stream = simple_stream().join(right, keys=("ipv4.dIP",))
+        query = Query(stream)
+        assert len(query.subqueries) == 3
+        assert isinstance(query.join_tree.right, JoinNode)
+
+    def test_two_sequential_joins(self):
+        r1 = (
+            PacketStream(name="r1")
+            .map(keys=("ipv4.dIP",), values=(Const(1, "a"),))
+            .reduce(keys=("ipv4.dIP",), func="sum", out="a")
+        )
+        r2 = (
+            PacketStream(name="r2")
+            .map(keys=("ipv4.dIP",), values=(Const(1, "b"),))
+            .reduce(keys=("ipv4.dIP",), func="sum", out="b")
+        )
+        stream = (
+            simple_stream().join(r1, keys=("ipv4.dIP",)).join(r2, keys=("ipv4.dIP",))
+        )
+        query = Query(stream)
+        assert len(query.subqueries) == 3
+        outer = query.join_tree
+        assert isinstance(outer, JoinNode)
+        assert isinstance(outer.left, JoinNode)
+        assert outer.right == 2
+
+    def test_refinement_candidates(self):
+        query = Query(simple_stream())
+        assert query.refinement_key_candidates() == {0: ["ipv4.dIP"]}
+
+    def test_subquery_names_unique(self):
+        right = (
+            PacketStream(name="r")
+            .map(keys=("ipv4.dIP",), values=("pktlen",))
+            .reduce(keys=("ipv4.dIP",), func="sum", out="bytes")
+        )
+        query = Query(simple_stream().join(right, keys=("ipv4.dIP",)))
+        names = [sq.name for sq in query.subqueries]
+        assert len(names) == len(set(names))

@@ -1,0 +1,43 @@
+"""Tests of the Figure 9 case study (scaled down for test speed)."""
+
+import pytest
+
+from repro.evaluation.casestudy import figure9_case_study
+
+
+@pytest.fixture(scope="module")
+def result():
+    return figure9_case_study(duration=18.0, pps=600, attack_start=6.0,
+                              shell_delay=7.0, seed=123)
+
+
+class TestTimeline:
+    def test_victim_identified_after_attack_start(self, result):
+        assert result.victim_identified_time is not None
+        assert result.victim_identified_time > result.attack_start
+
+    def test_attack_confirmed_after_shell(self, result):
+        assert result.attack_confirmed_time is not None
+        assert result.attack_confirmed_time > result.shell_time
+
+    def test_confirmation_within_two_windows_of_shell(self, result):
+        assert result.attack_confirmed_time <= result.shell_time + 2 * result.window
+
+    def test_needles_not_haystack(self, result):
+        """Reported tuples are a small fraction of received packets."""
+        received = sum(result.received_per_window)
+        reported = sum(result.reported_per_window)
+        assert reported < received / 10
+
+    def test_quiet_before_attack(self, result):
+        for end, reported in zip(result.window_ends, result.reported_per_window):
+            if end <= result.attack_start:
+                assert reported == 0
+
+    def test_few_tuples_to_identify_victim(self, result):
+        """Paper: 'only two packet tuples ... to detect the victim'."""
+        assert result.tuples_to_identify_victim <= 25
+
+    def test_describe_renders(self, result):
+        text = result.describe()
+        assert "victim identified" in text

@@ -1,0 +1,50 @@
+"""Tests for the Table 3 lines-of-code regeneration."""
+
+import pytest
+
+from repro.evaluation.loc import p4_loc, sonata_loc, spark_loc, table3_loc
+from repro.queries.library import QUERY_LIBRARY, build_query
+
+
+class TestSonataLoc:
+    def test_query1_count_matches_paper_style(self):
+        # Paper Query 1 is five lines: packetStream + 4 operators.
+        query = build_query("newly_opened_tcp_conns", qid=901)
+        assert sonata_loc(query) == 5
+
+    def test_join_queries_count_nested_streams(self):
+        slowloris = build_query("slowloris", qid=902)
+        simple = build_query("newly_opened_tcp_conns", qid=903)
+        assert sonata_loc(slowloris) > sonata_loc(simple)
+
+    def test_all_queries_under_twenty_lines(self):
+        """§2: every Table 3 task is expressible in < 20 Sonata lines."""
+        for index, name in enumerate(QUERY_LIBRARY):
+            query = build_query(name, qid=910 + index)
+            assert sonata_loc(query) < 20
+
+
+class TestTargetLoc:
+    def test_p4_dwarfs_sonata(self):
+        for index, name in enumerate(["newly_opened_tcp_conns", "slowloris"]):
+            query = build_query(name, qid=930 + index)
+            assert p4_loc(query) > 20 * sonata_loc(query)
+
+    def test_spark_exceeds_sonata(self):
+        query = build_query("slowloris", qid=940)
+        assert spark_loc(query) > sonata_loc(query)
+
+
+class TestTable3:
+    def test_full_table_shape(self):
+        rows = table3_loc()
+        assert len(rows) == 11
+        for row in rows:
+            # Paper shape: Sonata (6-17) << Spark (4-15-ish) + P4 (367-1168)
+            assert row.sonata < 20
+            assert row.p4 > 100
+            assert row.sonata < row.p4 + row.spark
+
+    def test_subset(self):
+        rows = table3_loc(["ddos"])
+        assert len(rows) == 1 and rows[0].name == "ddos"

@@ -1,0 +1,63 @@
+"""Tests for the vectorized plan evaluator vs the per-packet runtime."""
+
+import pytest
+
+from repro.evaluation.measure import evaluate_plan
+from repro.packets import Trace, attacks
+from repro.planner import QueryPlanner
+from repro.queries.library import build_query
+from repro.runtime import SonataRuntime
+
+VICTIM = 0x0A000001
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    backbone = request.getfixturevalue("backbone_medium")
+    attack = attacks.syn_flood(VICTIM, start=0.0, duration=12.0, pps=100, seed=2)
+    trace = Trace.merge([backbone, attack])
+    query = build_query("newly_opened_tcp_conns", qid=1, Th=120)
+    planner = QueryPlanner([query], trace, window=3.0, time_limit=20)
+    return trace, query, planner
+
+
+class TestMeasurement:
+    @pytest.mark.parametrize("mode", ["max_dp", "all_sp", "fix_ref"])
+    def test_matches_runtime_tuple_counts(self, setup, mode):
+        """The vectorized evaluator must agree with the packet runtime
+        (exactly when registers do not overflow)."""
+        trace, query, planner = setup
+        plan = planner.plan(mode)
+        vectorized = evaluate_plan(plan, trace, 3.0)
+        runtime_report = SonataRuntime(plan).run(trace)
+        for fast, slow in zip(vectorized.per_window, runtime_report.windows):
+            assert fast.get(1, 0) == slow.tuples_to_sp.get(1, 0)
+
+    def test_detections_match_runtime(self, setup):
+        trace, query, planner = setup
+        plan = planner.plan("fix_ref")
+        vectorized = evaluate_plan(plan, trace, 3.0)
+        runtime_report = SonataRuntime(plan).run(trace)
+        fast = {
+            (w, row["ipv4.dIP"]) for w, _, row in vectorized.detections
+        }
+        slow = {
+            (w.index, row["ipv4.dIP"])
+            for w in runtime_report.windows
+            for row in w.detections.get(1, [])
+        }
+        assert fast == slow
+
+    def test_skip_windows(self, setup):
+        trace, query, planner = setup
+        plan = planner.plan("all_sp")
+        measurement = evaluate_plan(plan, trace, 3.0)
+        total = measurement.total_tuples()
+        skipped = measurement.total_tuples(skip_windows=1)
+        assert skipped == total - sum(measurement.per_window[0].values())
+
+    def test_per_query_accounting(self, setup):
+        trace, query, planner = setup
+        plan = planner.plan("sonata")
+        measurement = evaluate_plan(plan, trace, 3.0)
+        assert measurement.total_tuples(qid=1) == measurement.total_tuples()

@@ -1,0 +1,78 @@
+"""Small-scale tests of the Figure 7/8 sweep drivers.
+
+The full-size sweeps run in benchmarks/; here a 3-query context checks the
+paper's qualitative claims quickly.
+"""
+
+import pytest
+
+from repro.evaluation.sweeps import (
+    SweepContext,
+    figure7a_single_query,
+    figure7b_multi_query,
+    figure8_constraints,
+)
+from repro.switch.config import MB, SwitchConfig
+
+
+@pytest.fixture(scope="module")
+def context():
+    return SweepContext.build(
+        names=("newly_opened_tcp_conns", "superspreader", "ddos"),
+        duration=15.0,
+        pps=1_500,
+        seed=9,
+        time_limit=15.0,
+    )
+
+
+class TestFigure7a(object):
+    @pytest.fixture(scope="class")
+    def results(self, context):
+        return figure7a_single_query(context)
+
+    def test_sonata_never_worse(self, results):
+        for name, row in results.items():
+            for mode, value in row.items():
+                assert row["sonata"] <= value * 1.05, (name, mode)
+
+    def test_all_sp_is_the_ceiling(self, results):
+        for name, row in results.items():
+            assert row["all_sp"] == max(row.values())
+
+    def test_orders_of_magnitude_reduction(self, results):
+        for name, row in results.items():
+            assert row["sonata"] * 50 < row["all_sp"], name
+
+
+class TestFigure7b:
+    def test_monotone_in_queries_and_ordered(self, context):
+        results = figure7b_multi_query(context, modes=("all_sp", "sonata"))
+        assert list(results) == [1, 2, 3]
+        for k, row in results.items():
+            assert row["sonata"] <= row["all_sp"]
+        # total All-SP load grows with the number of queries
+        assert results[3]["all_sp"] > results[1]["all_sp"]
+
+
+class TestFigure8:
+    def test_relaxing_constraints_never_hurts(self, context):
+        results = figure8_constraints(
+            context,
+            modes=("max_dp", "sonata"),
+            sweeps={"stages": (1, 4, 16)},
+        )
+        column = results["stages"]
+        for mode in ("max_dp", "sonata"):
+            series = [column[v][mode] for v in (1, 4, 16)]
+            # weakly improving as stages grow (small tolerance: solver gaps)
+            assert series[2] <= series[0] * 1.05
+
+    def test_memory_sweep(self, context):
+        results = figure8_constraints(
+            context,
+            modes=("sonata",),
+            sweeps={"register_bits_per_stage": (int(0.5 * MB), 8 * MB)},
+        )
+        column = results["register_bits_per_stage"]
+        assert column[8 * MB]["sonata"] <= column[int(0.5 * MB)]["sonata"] * 1.05

@@ -1,0 +1,140 @@
+"""Property tests of dynamic refinement's correctness invariants (§4.1).
+
+The whole refinement scheme rests on one guarantee: executing a query at a
+coarser key granularity (with relaxed thresholds) can never lose traffic
+that satisfies the original query — every satisfying key's coarse ancestor
+appears in the coarse level's output, so the zoom-in filter keeps it.
+Hypothesis generates random key/count populations and checks the guarantee
+across the estimator's relaxed thresholds and the augmented queries.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analytics import execute_subquery
+from repro.core.expressions import Const
+from repro.core.fields import TCP_SYN
+from repro.core.query import PacketStream, Query
+from repro.packets.packet import Packet
+from repro.packets.trace import Trace
+from repro.planner.costs import CostEstimator
+from repro.planner.refinement import (
+    ROOT_LEVEL,
+    RefinementSpec,
+    augmented_subquery,
+)
+from repro.utils.iputil import prefix_of
+
+# Random populations: a handful of /8 blocks, hosts inside them, and a
+# packet count per host. Some hosts will cross the threshold, some won't.
+population = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),  # /8 block id
+        st.integers(min_value=0, max_value=30),  # host id inside the block
+        st.integers(min_value=1, max_value=60),  # SYN packets
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+THRESHOLD = 25
+
+
+def _query(threshold=THRESHOLD):
+    return Query(
+        PacketStream(name="inv", qid=1, window=10.0)
+        .filter(("tcp.flags", "eq", TCP_SYN))
+        .map(keys=("ipv4.dIP",), values=(Const(1),))
+        .reduce(keys=("ipv4.dIP",), func="sum")
+        .filter(("count", "gt", threshold))
+    )
+
+
+def _trace(hosts) -> Trace:
+    packets = []
+    t = 0.0
+    for block, host, count in hosts:
+        address = (10 + block) << 24 | host
+        for _ in range(count):
+            packets.append(
+                Packet(ts=t, tcpflags=TCP_SYN, proto=6, dip=address, sip=1)
+            )
+            t += 0.001
+    return Trace.from_packets(packets)
+
+
+class TestNoMissInvariant:
+    @settings(max_examples=40, deadline=None)
+    @given(hosts=population)
+    def test_coarse_levels_cover_fine_detections(self, hosts):
+        query = _query()
+        trace = _trace(hosts)
+        estimator = CostEstimator(
+            [query],
+            trace,
+            window=10.0,
+            refinement_specs={1: RefinementSpec("ipv4.dIP", (8, 16, 32))},
+        )
+        costs = estimator.estimate()[1]
+
+        truth = execute_subquery(query.subquery(0), trace).rows()
+        satisfied = {row["ipv4.dIP"] for row in truth}
+
+        for level in (8, 16):
+            relaxed = costs.relaxed_thresholds.get((0, level))
+            coarse = augmented_subquery(
+                query.subquery(0),
+                RefinementSpec("ipv4.dIP", (8, 16, 32)),
+                ROOT_LEVEL,
+                level,
+                relaxed,
+            )
+            coarse_keys = {
+                row["ipv4.dIP"] for row in execute_subquery(coarse, trace).rows()
+            }
+            for key in satisfied:
+                assert prefix_of(key, level) in coarse_keys, (
+                    f"/{level} lost ancestor of satisfying key {key:#x}"
+                )
+
+    @settings(max_examples=25, deadline=None)
+    @given(hosts=population)
+    def test_filtered_execution_equals_unfiltered_for_survivors(self, hosts):
+        """Running the fine level over only the coarse survivors yields the
+        same detections as running it over everything."""
+        query = _query()
+        trace = _trace(hosts)
+        spec = RefinementSpec("ipv4.dIP", (8, 32))
+
+        coarse = augmented_subquery(query.subquery(0), spec, ROOT_LEVEL, 8)
+        coarse_keys = {
+            row["ipv4.dIP"] for row in execute_subquery(coarse, trace).rows()
+        }
+
+        fine = augmented_subquery(query.subquery(0), spec, 8, 32)
+        filtered = {
+            row["ipv4.dIP"]
+            for row in execute_subquery(
+                fine, trace, tables={"ref_q1_lvl8": coarse_keys}
+            ).rows()
+        }
+        unfiltered = {
+            row["ipv4.dIP"]
+            for row in execute_subquery(query.subquery(0), trace).rows()
+        }
+        assert filtered == unfiltered
+
+    @settings(max_examples=25, deadline=None)
+    @given(hosts=population)
+    def test_relaxed_thresholds_at_least_original(self, hosts):
+        query = _query()
+        trace = _trace(hosts)
+        estimator = CostEstimator(
+            [query],
+            trace,
+            window=10.0,
+            refinement_specs={1: RefinementSpec("ipv4.dIP", (8, 16, 32))},
+        )
+        costs = estimator.estimate()[1]
+        for (subid, level), fields in costs.relaxed_thresholds.items():
+            for value in fields.values():
+                assert value >= THRESHOLD

@@ -1,0 +1,138 @@
+"""Robustness and failure-injection tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import execute_query, execute_subquery
+from repro.core.errors import PlanningError, QueryValidationError
+from repro.packets import BackboneConfig, Trace, generate_backbone
+from repro.packets.packet import Packet
+from repro.planner import QueryPlanner
+from repro.queries.library import build_query
+from repro.runtime import SonataRuntime
+
+
+class TestDegenerateTraces:
+    def test_empty_window_in_middle_of_run(self, newly_opened_query):
+        """A silent interval must not derail windows or refinement."""
+        packets = [
+            Packet(ts=t, tcpflags=2, dip=1, proto=6) for t in np.linspace(0, 2, 50)
+        ] + [
+            Packet(ts=t, tcpflags=2, dip=1, proto=6)
+            for t in np.linspace(9, 11, 50)
+        ]
+        trace = Trace.from_packets(packets)
+        planner = QueryPlanner(
+            [newly_opened_query], trace, window=3.0, time_limit=10
+        )
+        plan = planner.plan("max_dp")
+        report = SonataRuntime(plan).run(trace)
+        assert len(report.windows) == 4
+        assert report.windows[1].packets == 0
+
+    def test_single_packet_trace(self, newly_opened_query):
+        trace = Trace.from_packets([Packet(ts=0.0, tcpflags=2, dip=1, proto=6)])
+        planner = QueryPlanner(
+            [newly_opened_query], trace, window=3.0, time_limit=10
+        )
+        plan = planner.plan("sonata")
+        report = SonataRuntime(plan).run(trace)
+        assert report.total_tuples >= 0
+
+    def test_empty_training_trace_rejected(self, newly_opened_query):
+        planner = QueryPlanner([newly_opened_query], Trace.empty(), window=3.0)
+        with pytest.raises(PlanningError):
+            planner.plan("sonata")
+
+    def test_out_of_order_merge_is_sorted(self):
+        a = Trace.from_packets([Packet(ts=5.0), Packet(ts=1.0)])
+        merged = Trace.merge([a.sorted_by_time()])
+        ts = merged.array["ts"]
+        assert (np.diff(ts) >= 0).all()
+
+    def test_uniform_traffic_no_detections(self, newly_opened_query):
+        """All-identical traffic below threshold: no false positives."""
+        packets = [
+            Packet(ts=i * 0.1, tcpflags=2, dip=i % 50, proto=6)
+            for i in range(500)
+        ]
+        trace = Trace.from_packets(packets)
+        for _, window in trace.windows(3.0):
+            assert execute_query(newly_opened_query, window) == []
+
+
+class TestHostileInputs:
+    def test_mismatched_windows_rejected(self, backbone_small):
+        q1 = build_query("ddos", qid=1, window=3.0)
+        q2 = build_query("superspreader", qid=2, window=5.0)
+        planner = QueryPlanner([q1, q2], backbone_small, window=3.0, time_limit=10)
+        plan = planner.plan("max_dp")
+        runtime = SonataRuntime(plan)
+        with pytest.raises(PlanningError):
+            runtime.run(backbone_small)  # ambiguous window size
+        # explicit window resolves the ambiguity
+        runtime2 = SonataRuntime(planner.plan("all_sp"))
+        runtime2.run(backbone_small, window=3.0)
+
+    def test_unknown_field_in_query(self):
+        from repro.core.query import PacketStream, Query
+
+        with pytest.raises(QueryValidationError):
+            Query(PacketStream(name="bad").map(keys=("ipv4.nonexistent",)))
+
+    def test_max_values_do_not_overflow(self):
+        """Counters fit comfortably: extreme field values round-trip."""
+        pkt = Packet(
+            ts=1e6, pktlen=65535, proto=255, sip=0xFFFFFFFF, dip=0xFFFFFFFF,
+            sport=65535, dport=65535, tcpflags=255, ttl=255,
+        )
+        trace = Trace.from_packets([pkt])
+        assert trace.packet(0) == pkt
+
+    def test_filter_table_with_huge_entry_set(self, backbone_small):
+        """Refinement tables with thousands of entries stay correct."""
+        from repro.core.operators import Filter, Predicate
+
+        ops = (Filter((Predicate("ipv4.dIP", "in", "t", level=32),)),)
+        from repro.analytics import execute_operators
+
+        everything = set(int(v) for v in np.unique(backbone_small.array["dip"]))
+        result = execute_operators(ops, backbone_small, tables={"t": everything})
+        assert result.stats[0].rows_out == len(backbone_small)
+
+
+class TestPlannerEdgeCases:
+    def test_more_queries_than_switch_capacity(self, backbone_small):
+        """Dozens of queries against a tiny switch: plans stay feasible."""
+        from repro.switch.config import SwitchConfig
+
+        queries = [
+            build_query("newly_opened_tcp_conns", qid=i + 1, Th=60 + i)
+            for i in range(12)
+        ]
+        config = SwitchConfig(
+            stages=4,
+            stateful_actions_per_stage=1,
+            register_bits_per_stage=50_000,
+            max_single_register_bits=50_000,
+        )
+        planner = QueryPlanner(
+            queries, backbone_small, config=config, window=3.0, time_limit=20
+        )
+        plan = planner.plan("sonata")
+        planner.verify(plan)  # must install within the tiny envelope
+        stateful_tables = sum(
+            1
+            for inst in plan.all_instances()
+            for table in inst.tables
+            if table.stateful
+        )
+        assert stateful_tables <= config.stages * config.stateful_actions_per_stage
+
+    def test_window_larger_than_trace(self, backbone_small, newly_opened_query):
+        planner = QueryPlanner(
+            [newly_opened_query], backbone_small, window=60.0, time_limit=10
+        )
+        plan = planner.plan("max_dp")
+        report = SonataRuntime(plan).run(backbone_small, window=60.0)
+        assert len(report.windows) == 1

@@ -1,0 +1,67 @@
+"""Tests for prefix-preserving anonymization."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.packets.anonymize import PrefixPreservingAnonymizer
+from repro.packets.generator import BackboneConfig, generate_backbone
+
+addr = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+def common_prefix_len(a: int, b: int) -> int:
+    for bit in range(32):
+        shift = 31 - bit
+        if (a >> shift) & 1 != (b >> shift) & 1:
+            return bit
+    return 32
+
+
+class TestPrefixPreservation:
+    @settings(max_examples=60, deadline=None)
+    @given(addr, addr)
+    def test_common_prefix_length_preserved(self, a, b):
+        anonymizer = PrefixPreservingAnonymizer(key=11)
+        pa, pb = anonymizer.anonymize(a), anonymizer.anonymize(b)
+        assert common_prefix_len(a, b) == common_prefix_len(pa, pb)
+
+    @given(addr)
+    def test_deterministic(self, a):
+        x = PrefixPreservingAnonymizer(key=5)
+        y = PrefixPreservingAnonymizer(key=5)
+        assert x.anonymize(a) == y.anonymize(a)
+
+    @given(addr)
+    def test_key_matters(self, a):
+        x = PrefixPreservingAnonymizer(key=5).anonymize(a)
+        y = PrefixPreservingAnonymizer(key=6).anonymize(a)
+        # Not guaranteed per-address, but identical mappings across keys
+        # would mean the key is ignored; tolerate rare coincidences.
+        if a != 0:
+            assert x != y or a == y
+
+    def test_injective_on_sample(self):
+        anonymizer = PrefixPreservingAnonymizer(key=9)
+        inputs = list(range(0, 1 << 16, 97))
+        outputs = {anonymizer.anonymize(v) for v in inputs}
+        assert len(outputs) == len(inputs)
+
+    def test_array_matches_scalar(self):
+        anonymizer = PrefixPreservingAnonymizer(key=3)
+        values = np.array([1, 2, 3, 2, 1], dtype=np.uint32)
+        out = anonymizer.anonymize_array(values)
+        assert list(out) == [anonymizer.anonymize(int(v)) for v in values]
+
+
+class TestTraceAnonymization:
+    def test_trace_structure_preserved(self):
+        trace = generate_backbone(BackboneConfig(duration=1.0, pps=300, seed=5))
+        anonymized = PrefixPreservingAnonymizer(key=1).anonymize_trace(trace)
+        assert len(anonymized) == len(trace)
+        # non-IP columns untouched
+        assert np.array_equal(anonymized.array["ts"], trace.array["ts"])
+        assert np.array_equal(anonymized.array["dport"], trace.array["dport"])
+        # key-popularity histogram is preserved (bijective mapping)
+        _, counts_before = np.unique(trace.array["dip"], return_counts=True)
+        _, counts_after = np.unique(anonymized.array["dip"], return_counts=True)
+        assert sorted(counts_before) == sorted(counts_after)

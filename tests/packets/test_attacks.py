@@ -1,0 +1,115 @@
+"""Tests for attack injectors: each plants a detectable, bounded needle."""
+
+import numpy as np
+
+from repro.core.fields import PROTO_TCP, PROTO_UDP, TCP_SYN
+from repro.packets import attacks
+
+VICTIM = 0x0A000001
+
+
+class TestSynFlood:
+    def test_rate_and_target(self):
+        trace = attacks.syn_flood(VICTIM, start=2.0, duration=5.0, pps=100, seed=1)
+        assert 400 <= len(trace) <= 600
+        assert (trace.array["dip"] == VICTIM).all()
+        assert (trace.array["tcpflags"] == TCP_SYN).all()
+        ts = trace.array["ts"]
+        assert ts.min() >= 2.0 and ts.max() <= 7.0
+
+    def test_spoofed_source_diversity(self):
+        trace = attacks.syn_flood(VICTIM, duration=5.0, pps=200, seed=1)
+        assert len(np.unique(trace.array["sip"])) > 0.8 * len(trace)
+
+
+class TestDDoS:
+    def test_source_count(self):
+        trace = attacks.ddos(VICTIM, n_sources=300, packets_per_source=2, seed=1)
+        assert len(np.unique(trace.array["sip"])) == 300
+        assert len(trace) == 600
+
+
+class TestSuperspreader:
+    def test_destination_count(self):
+        trace = attacks.superspreader(VICTIM, n_destinations=250, seed=1)
+        assert len(np.unique(trace.array["dip"])) == 250
+        assert (trace.array["sip"] == VICTIM).all()
+
+
+class TestPortScan:
+    def test_unique_ports(self):
+        trace = attacks.port_scan(VICTIM, 0x0B000001, n_ports=300, seed=1)
+        assert len(np.unique(trace.array["dport"])) == 300
+        assert (trace.array["sip"] == VICTIM).all()
+
+
+class TestSshBruteForce:
+    def test_fixed_probe_length(self):
+        trace = attacks.ssh_brute_force(VICTIM, probe_len=128, seed=1)
+        assert (trace.array["pktlen"] == 128).all()
+        assert (trace.array["dport"] == 22).all()
+
+
+class TestSlowloris:
+    def test_many_connections_little_data(self):
+        trace = attacks.slowloris(VICTIM, n_connections=200, seed=1)
+        conns = {
+            (int(r["sip"]), int(r["sport"]))
+            for r in trace.array
+        }
+        assert len(conns) >= 150
+        assert trace.array["pktlen"].mean() < 200
+
+
+class TestIncompleteFlows:
+    def test_only_syns(self):
+        trace = attacks.incomplete_flows(VICTIM, n_flows=100, seed=1)
+        assert (trace.array["tcpflags"] == TCP_SYN).all()
+        assert len(trace) == 100
+
+
+class TestDnsTunnel:
+    def test_unique_subdomains(self):
+        trace = attacks.dns_tunnel(VICTIM, 0x08080808, n_lookups=50, seed=1)
+        assert len(trace.qnames) == 50
+        assert all(q.endswith("exfil.badtunnel.com") for q in trace.qnames)
+        responses = trace.array[trace.array["dns_qr"] == 1]
+        assert (responses["dip"] == VICTIM).all()
+        assert (trace.array["proto"] == PROTO_UDP).all()
+
+
+class TestDnsReflection:
+    def test_large_responses_many_sources(self):
+        trace = attacks.dns_reflection(VICTIM, n_resolvers=100, seed=1)
+        assert (trace.array["pktlen"] >= 1200).all()
+        assert (trace.array["sport"] == 53).all()
+        assert len(np.unique(trace.array["sip"])) == 100
+
+
+class TestZorro:
+    def test_two_phases(self):
+        trace = attacks.zorro(VICTIM, start=10.0, shell_delay=10.0, seed=1)
+        assert (trace.array["dport"] == 23).all()
+        assert (trace.array["proto"] == PROTO_TCP).all()
+        keyword = [p for p in trace.payloads if b"zorro" in p]
+        assert len(keyword) == 5
+        # shell packets come after the probes
+        shell_rows = trace.array[
+            np.isin(
+                trace.array["payload_id"],
+                [i for i, p in enumerate(trace.payloads) if b"zorro" in p],
+            )
+        ]
+        assert shell_rows["ts"].min() >= 19.9
+
+    def test_probe_sizes_quantized_band(self):
+        trace = attacks.zorro(VICTIM, probe_len=96, seed=1)
+        probes = trace.array[trace.array["ts"] < 19.0]
+        assert probes["pktlen"].min() >= 96
+        assert probes["pktlen"].max() <= 99
+
+    def test_determinism(self):
+        a = attacks.zorro(VICTIM, seed=3)
+        b = attacks.zorro(VICTIM, seed=3)
+        assert np.array_equal(a.array, b.array)
+        assert a.payloads == b.payloads

@@ -1,0 +1,69 @@
+"""Tests for flow aggregation."""
+
+import pytest
+
+from repro.packets.flows import aggregate_flows, top_flows
+from repro.packets.packet import Packet
+from repro.packets.trace import Trace
+
+
+def make_trace():
+    packets = [
+        Packet(ts=0.0, sip=1, dip=2, proto=6, sport=10, dport=80, pktlen=100,
+               tcpflags=0x02),
+        Packet(ts=0.5, sip=1, dip=2, proto=6, sport=10, dport=80, pktlen=200,
+               tcpflags=0x10),
+        Packet(ts=1.0, sip=1, dip=2, proto=6, sport=10, dport=80, pktlen=300,
+               tcpflags=0x11),
+        Packet(ts=0.2, sip=3, dip=4, proto=17, sport=53, dport=5000, pktlen=80),
+    ]
+    return Trace.from_packets(packets)
+
+
+class TestAggregation:
+    def test_flow_grouping(self):
+        flows = aggregate_flows(make_trace())
+        assert len(flows) == 2
+        tcp = next(f for f in flows if f.proto == 6)
+        assert tcp.packets == 3
+        assert tcp.bytes == 600
+        assert tcp.duration == pytest.approx(1.0)
+        assert tcp.flags_seen == 0x13  # SYN | ACK | FIN
+
+    def test_direction_matters(self):
+        packets = [
+            Packet(ts=0.0, sip=1, dip=2, proto=6, sport=10, dport=80),
+            Packet(ts=0.1, sip=2, dip=1, proto=6, sport=80, dport=10),
+        ]
+        assert len(aggregate_flows(Trace.from_packets(packets))) == 2
+
+    def test_empty_trace(self):
+        assert aggregate_flows(Trace.empty()) == []
+
+    def test_describe(self):
+        flow = aggregate_flows(make_trace())[0]
+        assert "->" in flow.describe()
+
+    def test_total_conservation(self, backbone_small):
+        flows = aggregate_flows(backbone_small)
+        assert sum(f.packets for f in flows) == len(backbone_small)
+        assert sum(f.bytes for f in flows) == int(
+            backbone_small.array["pktlen"].astype(int).sum()
+        )
+
+
+class TestTopFlows:
+    def test_sorted_by_bytes(self, backbone_small):
+        flows = top_flows(backbone_small, count=5, by="bytes")
+        assert len(flows) == 5
+        sizes = [f.bytes for f in flows]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_sorted_by_packets(self, backbone_small):
+        flows = top_flows(backbone_small, count=3, by="packets")
+        counts = [f.packets for f in flows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_bad_key(self, backbone_small):
+        with pytest.raises(ValueError):
+            top_flows(backbone_small, by="duration")

@@ -1,0 +1,70 @@
+"""Tests for the synthetic backbone generator's statistical shape."""
+
+import numpy as np
+
+from repro.core.fields import PROTO_TCP, PROTO_UDP, TCP_ACK, TCP_SYN, TCP_SYNACK
+from repro.packets.generator import BackboneConfig, generate_backbone
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_backbone(BackboneConfig(duration=2.0, pps=500, seed=1))
+        b = generate_backbone(BackboneConfig(duration=2.0, pps=500, seed=1))
+        assert np.array_equal(a.array, b.array)
+
+    def test_different_seed_differs(self):
+        a = generate_backbone(BackboneConfig(duration=2.0, pps=500, seed=1))
+        b = generate_backbone(BackboneConfig(duration=2.0, pps=500, seed=2))
+        assert not np.array_equal(a.array, b.array)
+
+
+class TestShape:
+    def test_packet_budget_roughly_met(self, backbone_small):
+        # duration 6s * 1000 pps; TCP control packets add overhead.
+        assert 5_000 <= len(backbone_small) <= 12_000
+
+    def test_timestamps_sorted_and_in_range(self, backbone_small):
+        ts = backbone_small.array["ts"]
+        assert (np.diff(ts) >= 0).all()
+        assert ts[0] >= 0.0
+
+    def test_protocol_mix(self, backbone_small):
+        protos = backbone_small.array["proto"]
+        tcp_share = (protos == PROTO_TCP).mean()
+        udp_share = (protos == PROTO_UDP).mean()
+        assert 0.7 < tcp_share < 0.97
+        assert 0.005 < udp_share < 0.25
+
+    def test_handshakes_present(self, backbone_small):
+        flags = backbone_small.array["tcpflags"]
+        syns = (flags == TCP_SYN).sum()
+        synacks = (flags == TCP_SYNACK).sum()
+        assert syns > 0 and synacks > 0
+        # one SYN-ACK per SYN in the generator
+        assert abs(int(syns) - int(synacks)) < 0.1 * syns + 5
+
+    def test_dns_queries_have_responses_and_names(self, backbone_small):
+        arr = backbone_small.array
+        dns = arr[arr["dport"] == 53]
+        responses = arr[(arr["sport"] == 53) & (arr["dns_qr"] == 1)]
+        assert len(dns) > 0 and len(responses) > 0
+        assert (responses["dns_name_id"] >= 0).all()
+        assert len(backbone_small.qnames) > 0
+
+    def test_zipf_endpoint_popularity(self, backbone_medium):
+        dips, counts = np.unique(backbone_medium.array["dip"], return_counts=True)
+        counts = np.sort(counts)[::-1]
+        # top 10% of destinations should carry the majority of packets
+        top = counts[: max(len(counts) // 10, 1)].sum()
+        assert top > 0.5 * counts.sum()
+
+    def test_no_payloads_in_backbone(self, backbone_small):
+        assert backbone_small.payloads == []
+        assert (backbone_small.array["payload_id"] == -1).all()
+
+    def test_server_ports_realistic(self, backbone_small):
+        arr = backbone_small.array
+        tcp = arr[arr["proto"] == PROTO_TCP]
+        web = ((tcp["dport"] == 80) | (tcp["dport"] == 443)).sum()
+        syn_like = (tcp["tcpflags"] == TCP_SYN).sum()
+        assert web > 0

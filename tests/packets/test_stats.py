@@ -1,0 +1,52 @@
+"""Tests for trace summaries."""
+
+import pytest
+
+from repro.packets import attacks, Trace
+from repro.packets.stats import summarize
+
+
+class TestSummary:
+    def test_backbone_summary(self, backbone_small):
+        summary = summarize(backbone_small)
+        assert summary.packets == len(backbone_small)
+        assert summary.pps == pytest.approx(
+            len(backbone_small) / backbone_small.duration, rel=0.01
+        )
+        assert 0.7 < summary.protocol_mix["tcp"] < 1.0
+        assert summary.unique_sources > 100
+        assert summary.dns_packets > 0
+        assert summary.payload_packets == 0
+
+    def test_attack_shows_up_in_top_destinations(self, backbone_small):
+        victim = 0x01020304
+        merged = Trace.merge(
+            [backbone_small, attacks.syn_flood(victim, duration=6.0, pps=500)]
+        )
+        summary = summarize(merged)
+        assert summary.top_destinations[0][0] == "1.2.3.4"
+        assert summary.syn_fraction > summarize(backbone_small).syn_fraction
+
+    def test_empty_trace(self):
+        summary = summarize(Trace.empty())
+        assert summary.packets == 0
+        assert summary.describe()  # renders without error
+
+    def test_describe_renders(self, backbone_small):
+        text = summarize(backbone_small).describe()
+        assert "protocols:" in text and "top destinations:" in text
+
+
+class TestSummaryEdgeCases:
+    def test_single_packet(self):
+        from repro.packets.packet import Packet
+
+        trace = Trace.from_packets([Packet(ts=1.0, dip=5, dport=80)])
+        summary = summarize(trace)
+        assert summary.packets == 1
+        assert summary.pps == 1.0  # zero duration falls back to count
+
+    def test_top_n_respected(self, backbone_small):
+        summary = summarize(backbone_small, top_n=2)
+        assert len(summary.top_destinations) == 2
+        assert len(summary.top_ports) == 2

@@ -1,0 +1,106 @@
+"""Tests for trace-driven cost estimation (§3.3, Figure 5)."""
+
+import pytest
+
+from repro.core.query import Query
+from repro.packets import Trace, attacks
+from repro.planner.costs import CostEstimator
+from repro.planner.refinement import ROOT_LEVEL
+from repro.queries.library import build_query
+
+VICTIM = 0x0A000001
+
+
+@pytest.fixture(scope="module")
+def estimator(request):
+    backbone = request.getfixturevalue("backbone_medium")
+    attack = attacks.syn_flood(VICTIM, start=0.0, duration=12.0, pps=100, seed=2)
+    trace = Trace.merge([backbone, attack])
+    query = build_query("newly_opened_tcp_conns", qid=1, Th=120)
+    return CostEstimator([query], trace, window=3.0, max_levels=4)
+
+
+@pytest.fixture(scope="module")
+def costs(estimator):
+    return estimator.estimate()[1]
+
+
+class TestStructure:
+    def test_levels_and_transitions(self, costs):
+        assert costs.spec.levels == (8, 16, 24, 32)
+        assert (ROOT_LEVEL, 8) in costs.transitions
+        assert (8, 32) in costs.transitions
+        assert (ROOT_LEVEL, 32) in costs.transitions
+
+    def test_window_packets_positive(self, costs):
+        assert costs.window_packets > 1_000
+
+    def test_cut_zero_costs_full_window(self, costs):
+        tc = costs.transitions[(ROOT_LEVEL, 32)][0]
+        assert tc.cost_of(0).n_tuples == costs.window_packets
+
+    def test_costs_decrease_along_the_pipeline(self, costs):
+        """Figure 5 property: deeper cuts send (weakly) fewer tuples."""
+        for per_sub in costs.transitions.values():
+            for tc in per_sub.values():
+                tuples = [tc.cost_of(c).n_tuples for c in tc.cut_options()]
+                assert tuples[0] == max(tuples)
+                # final cut (aggregated + thresholded) is the cheapest
+                assert tuples[-1] <= tuples[1] or tuples[-1] <= tuples[0]
+
+    def test_refined_transition_cheaper_than_direct(self, costs):
+        """Zooming via /8 processes less than running /32 over everything."""
+        direct = costs.transitions[(ROOT_LEVEL, 32)][0]
+        refined = costs.transitions[(8, 32)][0]
+        deep_direct = direct.cost_of(direct.cut_options()[-1]).n_tuples
+        n1_direct = direct.cost_of(1).n_tuples
+        n1_refined = refined.cost_of(2).n_tuples  # after ref-filter + SYN filter
+        assert n1_refined <= n1_direct
+
+    def test_register_sizing_present(self, costs):
+        tc = costs.transitions[(ROOT_LEVEL, 32)][0]
+        stateful = [t for t in tc.sized_tables if t.stateful]
+        assert stateful and all(not t.register.placeholder for t in stateful)
+
+    def test_key_estimates_grow_with_level(self, costs):
+        keys_8 = max(
+            costs.transitions[(ROOT_LEVEL, 8)][0].key_estimates.values()
+        )
+        keys_32 = max(
+            costs.transitions[(ROOT_LEVEL, 32)][0].key_estimates.values()
+        )
+        assert keys_32 >= keys_8  # /32 keys at least as many as /8 keys
+
+
+class TestRelaxedThresholds:
+    def test_native_level_keeps_original(self, costs):
+        assert costs.relaxed_thresholds[(0, 32)]["count"] == 120
+
+    def test_coarser_levels_relax_upward(self, costs):
+        """§4.1 / Figure 4: Th/8 >= Th/16 >= ... >= Th."""
+        values = [
+            costs.relaxed_thresholds[(0, level)]["count"]
+            for level in (8, 16, 24, 32)
+        ]
+        assert values == sorted(values, reverse=True)
+        assert all(v >= 120 for v in values)
+
+    def test_output_keys_shrink_with_coarsening(self, costs):
+        sizes = costs.output_keys_per_level
+        assert sizes[8] <= sizes[32] + 2  # aggregation can only merge keys
+
+
+class TestNoRefinementQuery:
+    def test_port_keyed_query_single_transition(self, backbone_medium):
+        from repro.core.expressions import Const
+        from repro.core.query import PacketStream
+
+        query = Query(
+            PacketStream(name="ports", qid=5)
+            .map(keys=("tcp.dPort",), values=(Const(1),))
+            .reduce(keys=("tcp.dPort",), func="sum")
+            .filter(("count", "gt", 50))
+        )
+        costs = CostEstimator([query], backbone_medium, window=3.0).estimate()[5]
+        assert costs.spec is None
+        assert list(costs.transitions) == [(ROOT_LEVEL, 32)]

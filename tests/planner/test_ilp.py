@@ -1,0 +1,89 @@
+"""Tests for the planning ILP against hand-checkable scenarios."""
+
+import pytest
+
+from repro.packets import Trace, attacks
+from repro.planner.costs import CostEstimator
+from repro.planner.ilp import PlanILP
+from repro.planner.refinement import RefinementSpec
+from repro.queries.library import build_query
+from repro.switch.config import KB, SwitchConfig
+
+VICTIM = 0x0A000001
+
+
+@pytest.fixture(scope="module")
+def costs(request):
+    backbone = request.getfixturevalue("backbone_medium")
+    attack = attacks.syn_flood(VICTIM, start=0.0, duration=12.0, pps=100, seed=2)
+    trace = Trace.merge([backbone, attack])
+    query = build_query("newly_opened_tcp_conns", qid=1, Th=120)
+    return CostEstimator(
+        [query],
+        trace,
+        window=3.0,
+        refinement_specs={1: RefinementSpec("ipv4.dIP", (8, 16, 32))},
+    ).estimate()
+
+
+class TestSection33Scenario:
+    """The paper's §3.3 walk-through: a rich switch runs Query 1 fully."""
+
+    def test_rich_switch_full_on_switch(self, costs):
+        plan = PlanILP(costs, SwitchConfig.paper_default(), mode="max_dp").solve()
+        inst = plan.query_plans[1].instances[0]
+        assert inst.cut == inst.compiled.compilable_operators
+        # only the aggregated, thresholded keys go up
+        assert plan.est_total_tuples < 100
+
+    def test_tiny_register_budget_forces_partition(self, costs):
+        """If B is too small for the reduce, the cut moves before it."""
+        config = SwitchConfig(
+            stages=16,
+            stateful_actions_per_stage=8,
+            register_bits_per_stage=100,  # can't hold any register
+            max_single_register_bits=100,
+        )
+        plan = PlanILP(costs, config, mode="max_dp").solve()
+        inst = plan.query_plans[1].instances[0]
+        assert inst.cut < inst.compiled.compilable_operators
+        assert not any(t.stateful for t in inst.tables)
+
+    def test_refinement_beats_no_refinement_when_constrained(self, costs):
+        """§4.2: with scarce memory, zooming wins (the *->8->32 example)."""
+        config = SwitchConfig(
+            stages=16,
+            stateful_actions_per_stage=8,
+            register_bits_per_stage=40 * KB,
+            max_single_register_bits=40 * KB,
+        )
+        sonata = PlanILP(costs, config, mode="sonata").solve()
+        max_dp = PlanILP(costs, config, mode="max_dp").solve()
+        assert sonata.est_total_tuples < max_dp.est_total_tuples
+        assert len(sonata.query_plans[1].path) > 1  # actually refined
+
+    def test_stage_assignment_respects_order(self, costs):
+        plan = PlanILP(costs, SwitchConfig.paper_default(), mode="sonata").solve()
+        for inst in plan.all_instances():
+            if not inst.on_switch or inst.stage_assignment is None:
+                continue
+            stages = [inst.stage_assignment[t.name] for t in inst.tables]
+            assert stages == sorted(stages)
+            assert len(set(stages)) == len(stages)
+
+    def test_single_stage_switch(self, costs):
+        """With one stage, at most one table fits per instance."""
+        config = SwitchConfig(stages=1)
+        plan = PlanILP(costs, config, mode="sonata").solve()
+        for inst in plan.all_instances():
+            assert len(inst.tables) <= 1
+
+    def test_impossible_metadata_budget_pins_to_sp(self, costs):
+        config = SwitchConfig(metadata_bits=1)
+        plan = PlanILP(costs, config, mode="sonata").solve()
+        assert all(not inst.on_switch for inst in plan.all_instances())
+
+    def test_objective_reported(self, costs):
+        plan = PlanILP(costs, SwitchConfig.paper_default(), mode="sonata").solve()
+        assert plan.solver_info["status"] == 0
+        assert plan.solver_info["variables"] > 0

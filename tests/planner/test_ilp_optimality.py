@@ -1,0 +1,96 @@
+"""Property test: the ILP matches brute-force enumeration on small instances.
+
+Hypothesis rewrites a single query's per-cut tuple costs, then compares the
+ILP's chosen plan cost against exhaustive enumeration of (refinement path,
+cut per transition) under a resource-rich switch. Any gap means a bug in
+the flow-conservation or objective encoding.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.packets import Trace, attacks
+from repro.planner.costs import CostEstimator, CutCost
+from repro.planner.ilp import PlanILP
+from repro.planner.refinement import ROOT_LEVEL, RefinementSpec
+from repro.queries.library import build_query
+from repro.switch.config import SwitchConfig
+
+VICTIM = 0x0A000001
+LEVELS = (8, 16, 32)
+
+
+def _base_costs():
+    backbone = attacks.syn_flood(VICTIM, duration=6.0, pps=400, seed=3)
+    query = build_query("newly_opened_tcp_conns", qid=1, Th=10)
+    estimator = CostEstimator(
+        [query],
+        backbone,
+        window=6.0,
+        refinement_specs={1: RefinementSpec("ipv4.dIP", LEVELS)},
+    )
+    return estimator.estimate()
+
+
+_BASE = _base_costs()
+
+
+def _paths():
+    inner = [r for r in LEVELS if r != 32]
+    for mask in range(1 << len(inner)):
+        yield tuple(r for i, r in enumerate(inner) if mask & (1 << i)) + (32,)
+
+
+def _brute_force(costs) -> float:
+    qc = costs[1]
+    best = float("inf")
+    for path in _paths():
+        total = 0.0
+        prev = ROOT_LEVEL
+        for level in path:
+            tc = qc.transitions[(prev, level)][0]
+            per_cut = []
+            for cut in tc.cut_options():
+                if cut == 0:
+                    per_cut.append(qc.window_packets)
+                else:
+                    per_cut.append(tc.cost_of(cut).n_tuples)
+            total += min(per_cut)
+            prev = level
+        best = min(best, total)
+    return best
+
+
+class TestOptimality:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=100_000),
+            min_size=24,
+            max_size=24,
+        )
+    )
+    def test_ilp_matches_brute_force(self, raw_costs):
+        qc = _BASE[1]
+        # Rewrite every cut's tuple cost from the hypothesis sample.
+        values = iter(raw_costs)
+        for per_sub in qc.transitions.values():
+            for tc in per_sub.values():
+                tc.cuts = [
+                    CutCost(
+                        cut=c.cut,
+                        n_tuples=(
+                            qc.window_packets if c.cut == 0 else next(values)
+                        ),
+                        metadata_bits=c.metadata_bits,
+                    )
+                    for c in tc.cuts
+                ]
+        plan = PlanILP(
+            _BASE, SwitchConfig.paper_default(), mode="sonata", time_limit=30
+        ).solve()
+        expected = _brute_force(_BASE)
+        assert plan.est_total_tuples <= expected + 1e-6
+        # The ILP can't beat exhaustive search either.
+        assert plan.est_total_tuples >= expected - 1e-6

@@ -1,0 +1,110 @@
+"""Tests for plan data structures and accounting."""
+
+import pytest
+
+from repro.core.expressions import Const
+from repro.core.fields import TCP_SYN
+from repro.core.query import PacketStream, Query
+from repro.planner.plans import InstancePlan, Plan, QueryPlan, instance_key
+from repro.planner.refinement import RefinementSpec
+from repro.switch.compiler import compile_subquery
+from repro.switch.config import SwitchConfig
+
+
+def _subquery():
+    stream = (
+        PacketStream(name="q", qid=1)
+        .filter(("tcp.flags", "eq", TCP_SYN))
+        .map(keys=("ipv4.dIP",), values=(Const(1),))
+        .reduce(keys=("ipv4.dIP",), func="sum")
+        .filter(("count", "gt", 10))
+    )
+    return Query(stream)
+
+
+def _instance(query, cut, r_prev, r_level, est):
+    sq = query.subquery(0)
+    compiled = compile_subquery(sq)
+    return InstancePlan(
+        qid=1,
+        subid=0,
+        r_prev=r_prev,
+        r_level=r_level,
+        cut=cut,
+        augmented=sq,
+        compiled=compiled,
+        tables=compiled.tables_for_partition(cut),
+        stage_assignment=None,
+        residual_ops=compiled.residual_operators(cut),
+        est_tuples=est,
+        read_filter_table=None,
+    )
+
+
+class TestInstancePlan:
+    def test_key_format(self):
+        assert instance_key(3, 1, 8, 16) == "q3.s1@8-16"
+
+    def test_on_switch(self):
+        query = _subquery()
+        assert _instance(query, 4, 0, 32, 5.0).on_switch
+        assert not _instance(query, 0, 0, 32, 100.0).on_switch
+
+    def test_describe(self):
+        inst = _instance(_subquery(), 4, 0, 32, 5.0)
+        assert "4 ops on switch" in inst.describe()
+
+
+class TestQueryPlan:
+    def _plan(self, instances, path=(8, 32)):
+        query = _subquery()
+        return QueryPlan(
+            query=query,
+            spec=RefinementSpec("ipv4.dIP", (8, 32)),
+            path=path,
+            instances=instances,
+        )
+
+    def test_transitions_follow_path(self):
+        query = _subquery()
+        plan = self._plan([_instance(query, 4, 0, 8, 2.0),
+                           _instance(query, 4, 8, 32, 3.0)])
+        assert plan.transitions() == [(0, 8), (8, 32)]
+        assert plan.detection_delay_windows == 2
+
+    def test_est_tuples_sums_switch_instances(self):
+        query = _subquery()
+        plan = self._plan([_instance(query, 4, 0, 8, 2.0),
+                           _instance(query, 4, 8, 32, 3.0)])
+        assert plan.est_tuples_per_window == pytest.approx(5.0)
+
+    def test_raw_mirror_counted_once_per_transition(self):
+        query = _subquery()
+        a = _instance(query, 0, 0, 32, 100.0)
+        b = _instance(query, 0, 0, 32, 100.0)
+        b.subid = 1  # second sub-query of the same query, also raw
+        plan = self._plan([a, b], path=(32,))
+        assert plan.est_tuples_per_window == pytest.approx(100.0)
+
+    def test_instances_for(self):
+        query = _subquery()
+        inst = _instance(query, 4, 8, 32, 3.0)
+        plan = self._plan([inst])
+        assert plan.instances_for(8, 32) == [inst]
+        assert plan.instances_for(0, 8) == []
+
+
+class TestPlan:
+    def test_describe_and_totals(self):
+        query = _subquery()
+        inst = _instance(query, 4, 0, 32, 7.0)
+        qplan = QueryPlan(query=query, spec=None, path=(32,), instances=[inst])
+        plan = Plan(
+            mode="sonata",
+            switch_config=SwitchConfig.paper_default(),
+            query_plans={1: qplan},
+            est_total_tuples=7.0,
+        )
+        text = plan.describe()
+        assert "sonata plan" in text and "q1.s0@0-32" in text
+        assert plan.all_instances() == [inst]

@@ -1,0 +1,159 @@
+"""Tests for closed-loop mitigation."""
+
+import pytest
+
+from repro.packets import Trace, attacks
+from repro.planner import QueryPlanner
+from repro.queries.library import build_query
+from repro.runtime import SonataRuntime
+from repro.runtime.reaction import (
+    MitigationPolicy,
+    Mitigator,
+    run_with_mitigation,
+)
+
+VICTIM = 0x0A000001
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    backbone = request.getfixturevalue("backbone_medium")
+    attack = attacks.syn_flood(VICTIM, start=0.0, duration=12.0, pps=150, seed=2)
+    trace = Trace.merge([backbone, attack])
+    query = build_query("newly_opened_tcp_conns", qid=1, Th=120)
+    planner = QueryPlanner([query], trace, window=3.0, time_limit=20)
+    return trace, planner
+
+
+class TestMitigation:
+    def test_blocks_after_confirmation(self, setup):
+        trace, planner = setup
+        runtime = SonataRuntime(planner.plan("max_dp"))
+        policy = MitigationPolicy(qid=1, field="ipv4.dIP", confirm_windows=2)
+        report, mitigator = run_with_mitigation(runtime, trace, [policy])
+        blocks = [e for e in mitigator.log if e.action == "block"]
+        assert any(e.value == VICTIM for e in blocks)
+        # Blocking happens after exactly confirm_windows detections.
+        first_block = min(e.window_index for e in blocks if e.value == VICTIM)
+        assert first_block == 1  # detected in windows 0 and 1
+
+    def test_dropped_traffic_disappears_from_telemetry(self, setup):
+        trace, planner = setup
+        runtime = SonataRuntime(planner.plan("max_dp"))
+        policy = MitigationPolicy(
+            qid=1, field="ipv4.dIP", confirm_windows=1, ttl_windows=100
+        )
+        report, mitigator = run_with_mitigation(runtime, trace, [policy])
+        assert runtime.switch.packets_dropped > 0
+        # once blocked, the victim stops being detected
+        later = [
+            row["ipv4.dIP"]
+            for w in report.windows[2:]
+            for row in w.detections.get(1, [])
+        ]
+        assert VICTIM not in later
+
+    def test_rules_expire(self, setup):
+        trace, planner = setup
+        runtime = SonataRuntime(planner.plan("max_dp"))
+        policy = MitigationPolicy(
+            qid=1, field="ipv4.dIP", confirm_windows=1, ttl_windows=1
+        )
+        report, mitigator = run_with_mitigation(runtime, trace, [policy])
+        expires = [e for e in mitigator.log if e.action == "expire"]
+        assert expires, "short-TTL rules must expire during the run"
+
+    def test_confirmation_spares_transients(self, setup):
+        trace, planner = setup
+        runtime = SonataRuntime(planner.plan("max_dp"))
+        mitigator = Mitigator(
+            runtime,
+            [MitigationPolicy(qid=1, field="ipv4.dIP", confirm_windows=3)],
+        )
+        from repro.runtime.runtime import WindowReport
+
+        # one-off detection followed by silence: never blocked
+        w0 = WindowReport(0, 0, 3, 100, {1: 1},
+                          {1: [{"ipv4.dIP": 99, "count": 200}]}, {})
+        w1 = WindowReport(1, 3, 6, 100, {1: 0}, {1: []}, {})
+        mitigator.observe(w0)
+        mitigator.observe(w1)
+        mitigator.observe(w0)
+        assert mitigator.active_rules() == set()
+
+    def test_control_plane_cost_charged(self, setup):
+        trace, planner = setup
+        runtime = SonataRuntime(planner.plan("max_dp"))
+        before = runtime.switch.control_plane_seconds
+        runtime.switch.add_drop_rule("ipv4.dIP", VICTIM)
+        assert runtime.switch.control_plane_seconds > before
+
+
+class TestRetrainingSignal:
+    def test_overflow_triggers_retrain_callback(self, setup):
+        """§5: 'when it detects too many hash collisions, the runtime
+        triggers the query planner to re-run the ILP'."""
+        from repro.switch.registers import RegisterSpec
+
+        trace, planner = setup
+        plan = planner.plan("max_dp")
+        inst = plan.query_plans[1].instances[0]
+        inst.tables = [
+            t.sized(
+                RegisterSpec(t.register.name, n_slots=8, d=1,
+                             key_bits=t.register.key_bits,
+                             value_bits=t.register.value_bits)
+            )
+            if t.stateful
+            else t
+            for t in inst.tables
+        ]
+        inst.stage_assignment = None
+        fired = []
+        runtime = SonataRuntime(
+            plan, on_retrain=fired.append, retrain_overflow_threshold=0.05
+        )
+        report = runtime.run(trace)
+        assert runtime.retrain_signals, "undersized registers must signal"
+        assert fired and fired[0].overflow_stats
+
+    def test_well_sized_registers_stay_quiet(self, setup):
+        trace, planner = setup
+        runtime = SonataRuntime(planner.plan("max_dp"))
+        runtime.run(trace)
+        assert runtime.retrain_signals == []
+
+
+class TestReplanClosesTheLoop:
+    def test_replan_fixes_undersized_registers(self, setup):
+        """§5 end to end: overflow signal -> re-plan on recent traffic ->
+        the new plan's registers absorb the key population."""
+        from repro.planner.planner import replan
+        from repro.switch.registers import RegisterSpec
+
+        trace, planner = setup
+        plan = planner.plan("max_dp")
+        inst = plan.query_plans[1].instances[0]
+        inst.tables = [
+            t.sized(
+                RegisterSpec(t.register.name, n_slots=8, d=1,
+                             key_bits=t.register.key_bits,
+                             value_bits=t.register.value_bits)
+            )
+            if t.stateful
+            else t
+            for t in inst.tables
+        ]
+        inst.stage_assignment = None
+
+        signals = []
+        runtime = SonataRuntime(plan, on_retrain=signals.append)
+        first_run = runtime.run(trace)
+        assert runtime.retrain_signals, "the undersized plan must signal"
+
+        # Re-plan on the traffic that caused the signal, swap runtimes.
+        new_plan = replan(plan, trace, window=3.0, time_limit=20)
+        new_runtime = SonataRuntime(new_plan)
+        second_run = new_runtime.run(trace)
+        assert not new_runtime.retrain_signals, "re-planned registers hold"
+        assert second_run.total_tuples <= first_run.total_tuples

@@ -1,0 +1,97 @@
+"""Tests for the emitter wire format."""
+
+import pytest
+
+from repro.core.errors import PlanningError
+from repro.runtime.wire import WireCodec
+from repro.switch.simulator import MirroredTuple
+
+
+def make_codec():
+    codec = WireCodec()
+    codec.configure(
+        "q1.s0@0-32",
+        {"ipv4.dIP": 32, "count": 64, "payload": 0, "dns.rr.name": 0},
+    )
+    return codec
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        codec = make_codec()
+        tup = MirroredTuple(
+            instance="q1.s0@0-32",
+            kind="key_report",
+            fields={
+                "ipv4.dIP": 0x0A000001,
+                "count": 12345678901,
+                "payload": b"zorro\x00\xff",
+                "dns.rr.name": "a.b.example.com",
+            },
+            op_index=3,
+        )
+        decoded = codec.decode(codec.encode(tup))
+        assert decoded == tup
+
+    def test_empty_payload(self):
+        codec = make_codec()
+        tup = MirroredTuple(
+            instance="q1.s0@0-32",
+            kind="stream",
+            fields={"ipv4.dIP": 0, "count": 0, "payload": b"", "dns.rr.name": ""},
+            op_index=0,
+        )
+        assert codec.decode(codec.encode(tup)) == tup
+
+    def test_unknown_instance_rejected(self):
+        codec = make_codec()
+        tup = MirroredTuple("ghost", "stream", {}, 0)
+        with pytest.raises(PlanningError):
+            codec.encode(tup)
+
+    def test_missing_field_rejected(self):
+        codec = make_codec()
+        tup = MirroredTuple("q1.s0@0-32", "stream", {"ipv4.dIP": 1}, 0)
+        with pytest.raises(PlanningError):
+            codec.encode(tup)
+
+    def test_duplicate_schema_rejected(self):
+        codec = make_codec()
+        with pytest.raises(PlanningError):
+            codec.configure("q1.s0@0-32", {"x": 8})
+
+    def test_trailing_garbage_rejected(self):
+        codec = make_codec()
+        tup = MirroredTuple(
+            "q1.s0@0-32", "stream",
+            {"ipv4.dIP": 1, "count": 2, "payload": b"", "dns.rr.name": ""}, 0,
+        )
+        record = codec.encode(tup) + b"\x00"
+        with pytest.raises(PlanningError):
+            codec.decode(record)
+
+    def test_records_are_compact(self):
+        codec = make_codec()
+        tup = MirroredTuple(
+            "q1.s0@0-32", "key_report",
+            {"ipv4.dIP": 1, "count": 2, "payload": b"", "dns.rr.name": ""}, 4,
+        )
+        # header(4) + 4 + 8 + (2+0) + (2+0)
+        assert len(codec.encode(tup)) == 4 + 4 + 8 + 2 + 2
+
+
+class TestRuntimeWireCheck:
+    def test_end_to_end_with_wire_check(self, synflood_trace, newly_opened_query):
+        """Every mirrored tuple must survive the binary format unchanged."""
+        from repro.planner import QueryPlanner
+        from repro.runtime import SonataRuntime
+
+        planner = QueryPlanner(
+            [newly_opened_query], synflood_trace, window=3.0, time_limit=15
+        )
+        plan = planner.plan("max_dp")
+        checked = SonataRuntime(plan, wire_check=True).run(synflood_trace)
+        plain = SonataRuntime(plan).run(synflood_trace)
+        assert checked.total_tuples == plain.total_tuples
+        for a, b in zip(checked.windows, plain.windows):
+            assert a.detections == b.detections

@@ -1,0 +1,114 @@
+"""Tests for the Spark-style DStream API."""
+
+import pytest
+
+from repro.core.errors import QueryValidationError
+from repro.streaming.dstream import StreamingContext
+
+
+class TestDStream:
+    def test_map_filter(self):
+        ctx = StreamingContext()
+        src = ctx.queue_stream("s")
+        collected = src.map(lambda x: x * 2).filter(lambda x: x > 4).collect()
+        ctx.push("s", [1, 2, 3])
+        ctx.advance()
+        assert collected == [[6]]
+
+    def test_reduce_by_key(self):
+        ctx = StreamingContext()
+        src = ctx.queue_stream("s")
+        sink = src.reduce_by_key(lambda a, b: a + b).collect()
+        ctx.push("s", [("a", 1), ("a", 2), ("b", 5)])
+        ctx.advance()
+        assert sorted(sink[0]) == [("a", 3), ("b", 5)]
+
+    def test_reduce_by_key_rejects_non_pairs(self):
+        ctx = StreamingContext()
+        src = ctx.queue_stream("s")
+        sink = src.reduce_by_key(lambda a, b: a + b).collect()
+        ctx.push("s", [1])
+        with pytest.raises(QueryValidationError):
+            ctx.advance()
+
+    def test_count_by_key(self):
+        ctx = StreamingContext()
+        src = ctx.queue_stream("s")
+        sink = src.map(lambda x: (x, x)).count_by_key().collect()
+        ctx.push("s", ["a", "a", "b"])
+        ctx.advance()
+        assert sorted(sink[0]) == [("a", 2), ("b", 1)]
+
+    def test_distinct(self):
+        ctx = StreamingContext()
+        src = ctx.queue_stream("s")
+        sink = src.distinct().collect()
+        ctx.push("s", [1, 1, 2, 2, 3])
+        ctx.advance()
+        assert sink == [[1, 2, 3]]
+
+    def test_join(self):
+        ctx = StreamingContext()
+        left = ctx.queue_stream("l")
+        right = ctx.queue_stream("r")
+        sink = left.join(right).collect()
+        ctx.push("l", [("k", 1), ("j", 9)])
+        ctx.push("r", [("k", 2)])
+        ctx.advance()
+        assert sink == [[("k", (1, 2))]]
+
+    def test_union_and_flat_map(self):
+        ctx = StreamingContext()
+        a = ctx.queue_stream("a")
+        b = ctx.queue_stream("b")
+        sink = a.union(b).flat_map(lambda x: [x, x]).collect()
+        ctx.push("a", [1])
+        ctx.push("b", [2])
+        ctx.advance()
+        assert sorted(sink[0]) == [1, 1, 2, 2]
+
+    def test_windows_are_isolated(self):
+        ctx = StreamingContext()
+        src = ctx.queue_stream("s")
+        sink = src.reduce_by_key(lambda a, b: a + b).collect()
+        ctx.push("s", [("a", 1)])
+        ctx.advance()
+        ctx.push("s", [("a", 1)])
+        ctx.advance()
+        assert sink == [[("a", 1)], [("a", 1)]]  # no cross-window state
+
+    def test_push_to_future_window(self):
+        ctx = StreamingContext()
+        src = ctx.queue_stream("s")
+        sink = src.collect()
+        ctx.push("s", [1], window_id=1)
+        ctx.advance()
+        ctx.advance()
+        assert sink == [[], [1]]
+
+    def test_duplicate_stream_rejected(self):
+        ctx = StreamingContext()
+        ctx.queue_stream("s")
+        with pytest.raises(QueryValidationError):
+            ctx.queue_stream("s")
+
+    def test_unknown_stream_rejected(self):
+        ctx = StreamingContext()
+        with pytest.raises(QueryValidationError):
+            ctx.push("nope", [1])
+
+    def test_shared_parent_computed_once(self):
+        ctx = StreamingContext()
+        src = ctx.queue_stream("s")
+        calls = []
+
+        def probe(batch):
+            calls.append(1)
+            return batch
+
+        parent = src.transform(probe)
+        parent.map(lambda x: x).collect()
+        parent.filter(lambda x: True).collect()
+        ctx.push("s", [1, 2])
+        ctx.advance()
+        assert len(calls) == 1  # memoized per window

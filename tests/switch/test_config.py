@@ -1,0 +1,37 @@
+"""Tests for switch resource configuration."""
+
+import pytest
+
+from repro.switch.config import KB, MB, SwitchConfig
+
+
+class TestConfig:
+    def test_paper_default(self):
+        config = SwitchConfig.paper_default()
+        assert config.stages == 16
+        assert config.stateful_actions_per_stage == 8
+        assert config.register_bits_per_stage == 8 * MB
+
+    def test_strawman(self):
+        config = SwitchConfig.strawman()
+        assert config.stages == 4
+        assert config.register_bits_per_stage == 3_000 * KB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SwitchConfig(stages=0)
+        with pytest.raises(ValueError):
+            SwitchConfig(register_bits_per_stage=-1)
+
+    def test_update_cost_model_matches_paper(self):
+        # §6.2: 200 entries ≈ 127 ms, register reset ≈ 4 ms, total 131 ms.
+        config = SwitchConfig.paper_default()
+        assert config.update_cost_seconds(200) == pytest.approx(0.131, abs=1e-3)
+        assert config.update_cost_seconds(0, reset_registers=True) == pytest.approx(
+            0.004
+        )
+
+    def test_update_within_window_budget(self):
+        # The paper notes the 131 ms update is ~5% of the 3 s window.
+        config = SwitchConfig.paper_default()
+        assert config.update_cost_seconds(200) / 3.0 < 0.05

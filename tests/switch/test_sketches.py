@@ -1,0 +1,86 @@
+"""Tests for the count-min-sketch register backend."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ResourceExhaustedError
+from repro.switch.sketches import CountMinSketch, SketchReduceState, SketchSpec
+
+
+def make_sketch(width=256, depth=3, seed=0):
+    return CountMinSketch(SketchSpec("s", width=width, depth=depth, seed=seed))
+
+
+class TestCountMinSketch:
+    def test_exact_when_sparse(self):
+        sketch = make_sketch()
+        for key in range(20):
+            for _ in range(key + 1):
+                sketch.update(key)
+        for key in range(20):
+            assert sketch.estimate(key) == key + 1
+
+    def test_never_undercounts(self):
+        sketch = make_sketch(width=16, depth=2)  # heavy collisions
+        truth = {}
+        for key in range(200):
+            sketch.update(key, key % 5 + 1)
+            truth[key] = key % 5 + 1
+        for key, value in truth.items():
+            assert sketch.estimate(key) >= value
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=300))
+    def test_overcount_only_property(self, stream):
+        sketch = make_sketch(width=64, depth=3)
+        truth: dict[int, int] = {}
+        for key in stream:
+            sketch.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, value in truth.items():
+            assert sketch.estimate(key) >= value
+
+    def test_reset(self):
+        sketch = make_sketch()
+        sketch.update(1, 10)
+        sketch.reset()
+        assert sketch.estimate(1) == 0
+
+    def test_bad_geometry(self):
+        with pytest.raises(ResourceExhaustedError):
+            SketchSpec("s", width=0, depth=1)
+
+    def test_memory_accounting(self):
+        spec = SketchSpec("s", width=100, depth=4)
+        assert spec.total_bits == 100 * 4 * 32
+
+
+class TestSketchReduceState:
+    def test_register_interface(self):
+        state = SketchReduceState(SketchSpec("s", 256, 3))
+        first = state.update("k", "sum", 5)
+        assert first.value == 5 and first.inserted and not first.overflowed
+        second = state.update("k", "sum", 2)
+        assert second.value == 7 and not second.inserted
+        assert state.lookup("k") == 7
+
+    def test_never_overflows(self):
+        state = SketchReduceState(SketchSpec("s", 4, 1))
+        results = [state.update(k, "count") for k in range(100)]
+        assert not any(r.overflowed for r in results)
+
+    def test_dump_unsupported(self):
+        state = SketchReduceState(SketchSpec("s", 16, 2))
+        with pytest.raises(ResourceExhaustedError):
+            state.dump()
+
+    def test_unsupported_func(self):
+        state = SketchReduceState(SketchSpec("s", 16, 2))
+        with pytest.raises(ResourceExhaustedError):
+            state.update("k", "max", 5)
+
+    def test_window_stats(self):
+        state = SketchReduceState(SketchSpec("s", 16, 2))
+        state.update("k", "count")
+        assert state.take_window_stats() == (1, 0)
+        assert state.take_window_stats() == (0, 0)

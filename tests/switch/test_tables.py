@@ -1,0 +1,55 @@
+"""Tests for the LogicalTable model."""
+
+from repro.core.operators import Filter, Predicate
+from repro.switch.registers import RegisterSpec
+from repro.switch.tables import LogicalTable
+
+
+def make_table(**overrides):
+    defaults = dict(
+        name="t0",
+        kind="filter",
+        operator_index=0,
+        operator=Filter((Predicate("tcp.flags", "eq", 2),)),
+        is_operator_end=True,
+        stateful=False,
+    )
+    defaults.update(overrides)
+    return LogicalTable(**defaults)
+
+
+class TestLogicalTable:
+    def test_register_bits_default_zero(self):
+        assert make_table().register_bits == 0
+
+    def test_register_bits_with_spec(self):
+        spec = RegisterSpec("r", n_slots=100, d=2, key_bits=32, value_bits=32)
+        table = make_table(kind="reduce_upd", stateful=True, register=spec)
+        assert table.register_bits == 2 * 100 * 64
+
+    def test_sized_copy_preserves_identity(self):
+        table = make_table(
+            kind="reduce_upd",
+            stateful=True,
+            register=RegisterSpec("r", 1, 1, 32, placeholder=True),
+        )
+        spec = RegisterSpec("r", n_slots=64, d=2, key_bits=32)
+        sized = table.sized(spec)
+        assert sized is not table
+        assert sized.register is spec
+        assert sized.name == table.name
+        assert sized.kind == table.kind
+        assert table.register.placeholder  # original untouched
+
+    def test_describe_mentions_geometry_and_fold(self):
+        spec = RegisterSpec("r", n_slots=64, d=3, key_bits=32)
+        folded = Filter((Predicate("count", "gt", 10),))
+        table = make_table(
+            kind="reduce_upd", stateful=True, register=spec, folded_filter=folded
+        )
+        text = table.describe()
+        assert "3x64" in text and "+threshold" in text
+
+    def test_dynamic_table_recorded(self):
+        table = make_table(dynamic_table="ref_q1_lvl8")
+        assert table.dynamic_table == "ref_q1_lvl8"

@@ -1,0 +1,152 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestQueries:
+    def test_lists_library(self, capsys):
+        assert main(["queries"]) == 0
+        out = capsys.readouterr().out
+        assert "newly_opened_tcp_conns" in out
+        assert "slowloris" in out
+
+
+class TestGenerateStats:
+    def test_generate_clean(self, tmp_path, capsys):
+        out = str(tmp_path / "clean.trace")
+        assert main(["generate", "--out", out, "--duration", "2", "--pps", "500"]) == 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_with_attacks_and_stats(self, tmp_path, capsys):
+        out = str(tmp_path / "wl.trace")
+        assert (
+            main(
+                [
+                    "generate", "--out", out, "-q", "ddos",
+                    "--duration", "3", "--pps", "500",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["stats", out]) == 0
+        text = capsys.readouterr().out
+        assert "packets:" in text and "protocols:" in text
+
+    def test_unknown_query_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["generate", "--out", str(tmp_path / "x"), "-q", "bogus",
+                 "--duration", "1"]
+            )
+
+
+class TestPlanRun:
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("cli") / "wl.trace")
+        main(
+            ["generate", "--out", path, "-q", "newly_opened_tcp_conns",
+             "--duration", "9", "--pps", "1000"]
+        )
+        return path
+
+    def test_plan_text(self, trace_path, capsys):
+        assert (
+            main(
+                ["plan", "--trace", trace_path, "-q", "newly_opened_tcp_conns",
+                 "--mode", "sonata", "--time-limit", "10"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sonata plan" in out
+
+    def test_plan_json(self, trace_path, capsys):
+        assert (
+            main(
+                ["plan", "--trace", trace_path, "-q", "newly_opened_tcp_conns",
+                 "--json", "--time-limit", "10"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "sonata"
+        assert "newly_opened_tcp_conns" in payload["queries"]
+
+    def test_run(self, trace_path, capsys):
+        assert (
+            main(
+                ["run", "--trace", trace_path, "-q", "newly_opened_tcp_conns",
+                 "--mode", "max_dp", "--time-limit", "10"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "tuples->SP" in out and "total:" in out
+
+    def test_loc(self, capsys):
+        assert main(["loc"]) == 0
+        assert "zorro" in capsys.readouterr().out
+
+
+class TestReproduce:
+    def test_fig3(self, capsys):
+        assert main(["reproduce", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "d=4" in out
+
+    def test_overhead(self, capsys):
+        assert main(["reproduce", "overhead"]) == 0
+        assert "131.0 ms" in capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        assert main(["reproduce", "table3"]) == 0
+        assert "slowloris" in capsys.readouterr().out
+
+    def test_fig5(self, capsys):
+        assert main(["reproduce", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "N (full cut)" in out
+
+
+class TestQueryFile:
+    def test_plan_with_custom_query_file(self, tmp_path, capsys):
+        import json as _json
+
+        trace_path = str(tmp_path / "t.trace")
+        main(
+            ["generate", "--out", trace_path, "-q", "newly_opened_tcp_conns",
+             "--duration", "6", "--pps", "800"]
+        )
+        capsys.readouterr()
+        query_file = tmp_path / "custom.json"
+        query_file.write_text(_json.dumps({
+            "name": "custom_syn_counter",
+            "operators": [
+                {"op": "filter", "clauses": [["tcp.flags", "eq", 2]]},
+                {"op": "map", "keys": [{"expr": "field", "field": "ipv4.dIP"}],
+                 "values": [{"expr": "const", "value": 1, "name": "count"}]},
+                {"op": "reduce", "keys": ["ipv4.dIP"], "func": "sum"},
+                {"op": "filter", "clauses": [["count", "gt", 60]]},
+            ],
+        }))
+        assert (
+            main(
+                ["plan", "--trace", trace_path, "--query-file", str(query_file),
+                 "--time-limit", "10"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "custom_syn_counter" in out
+
+    def test_no_queries_at_all_rejected(self, tmp_path):
+        trace_path = str(tmp_path / "t.trace")
+        main(["generate", "--out", trace_path, "--duration", "2", "--pps", "300"])
+        with pytest.raises(SystemExit):
+            main(["plan", "--trace", trace_path, "--time-limit", "5"])

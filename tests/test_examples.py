@@ -1,0 +1,41 @@
+"""Examples must at least compile; the quickstart must run end to end."""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {path.name for path in EXAMPLES}
+        assert {
+            "quickstart.py",
+            "border_switch_monitoring.py",
+            "zorro_case_study.py",
+            "closed_loop_mitigation.py",
+            "network_wide_heavy_hitters.py",
+            "custom_query_and_fields.py",
+            "planner_exploration.py",
+            "traffic_analysis.py",
+        } <= names
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_example_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    def test_quickstart_runs(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES[0].parent / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "detected planted victim" in result.stdout

@@ -1,0 +1,55 @@
+"""Public-API hygiene: every __all__ export must resolve and be documented."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.packets",
+    "repro.switch",
+    "repro.streaming",
+    "repro.analytics",
+    "repro.planner",
+    "repro.runtime",
+    "repro.queries",
+    "repro.evaluation",
+    "repro.network",
+    "repro.utils",
+]
+
+
+def _all_modules():
+    names = []
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        names.append(package_name)
+        if hasattr(package, "__path__"):
+            for info in pkgutil.iter_modules(package.__path__):
+                names.append(f"{package_name}.{info.name}")
+    return sorted(set(names))
+
+
+class TestApi:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_exports_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            assert hasattr(package, name), f"{package_name}.{name} missing"
+
+    @pytest.mark.parametrize("module_name", _all_modules())
+    def test_every_module_has_a_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip(), module_name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_convenience(self):
+        from repro import PacketStream, ReproError
+
+        assert PacketStream is not None and issubclass(ReproError, Exception)

@@ -1,0 +1,78 @@
+"""Tests for IPv4 helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.iputil import (
+    format_ip,
+    format_prefix,
+    parse_ip,
+    prefix_mask,
+    prefix_of,
+)
+
+
+class TestParseFormat:
+    def test_parse_known(self):
+        assert parse_ip("10.0.0.1") == 0x0A000001
+        assert parse_ip("255.255.255.255") == 0xFFFFFFFF
+        assert parse_ip("0.0.0.0") == 0
+
+    def test_format_known(self):
+        assert format_ip(0x0A000001) == "10.0.0.1"
+        assert format_ip(0) == "0.0.0.0"
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.0.0.1", "-1.0.0.0", "a.b.c.d"):
+            with pytest.raises(ValueError):
+                parse_ip(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ip(1 << 32)
+        with pytest.raises(ValueError):
+            format_ip(-1)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_roundtrip(self, value):
+        assert parse_ip(format_ip(value)) == value
+
+
+class TestPrefix:
+    def test_masks(self):
+        assert prefix_mask(0) == 0
+        assert prefix_mask(8) == 0xFF000000
+        assert prefix_mask(32) == 0xFFFFFFFF
+
+    def test_mask_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            prefix_mask(33)
+        with pytest.raises(ValueError):
+            prefix_mask(-1)
+
+    def test_prefix_of(self):
+        addr = parse_ip("10.1.2.3")
+        assert format_ip(prefix_of(addr, 8)) == "10.0.0.0"
+        assert format_ip(prefix_of(addr, 16)) == "10.1.0.0"
+        assert format_ip(prefix_of(addr, 24)) == "10.1.2.0"
+        assert prefix_of(addr, 32) == addr
+
+    def test_format_prefix(self):
+        assert format_prefix(parse_ip("10.1.2.3"), 8) == "10.0.0.0/8"
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=32),
+    )
+    def test_prefix_idempotent(self, value, level):
+        once = prefix_of(value, level)
+        assert prefix_of(once, level) == once
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=32),
+        st.integers(min_value=0, max_value=32),
+    )
+    def test_coarser_prefix_absorbs_finer(self, value, a, b):
+        coarse, fine = min(a, b), max(a, b)
+        assert prefix_of(prefix_of(value, fine), coarse) == prefix_of(value, coarse)

@@ -1,0 +1,49 @@
+"""Tests for the heavy-tailed samplers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.sampling import ZipfSampler, pareto_sizes
+
+
+class TestZipfSampler:
+    def test_support(self):
+        rng = np.random.default_rng(0)
+        sampler = ZipfSampler(50, 1.1, rng)
+        draws = sampler.sample(10_000)
+        assert draws.min() >= 0 and draws.max() < 50
+
+    def test_rank_popularity_decreases(self):
+        rng = np.random.default_rng(0)
+        sampler = ZipfSampler(100, 1.2, rng)
+        draws = sampler.sample(50_000)
+        counts = np.bincount(draws, minlength=100)
+        # Rank 0 should dominate the tail by a wide margin.
+        assert counts[0] > 5 * counts[50]
+        assert counts[0] > counts[10] > counts[90]
+
+    def test_alpha_zero_is_uniform(self):
+        rng = np.random.default_rng(0)
+        sampler = ZipfSampler(10, 0.0, rng)
+        counts = np.bincount(sampler.sample(50_000), minlength=10)
+        assert counts.min() > 4_000 and counts.max() < 6_000
+
+    def test_rejects_bad_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0, rng)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -1.0, rng)
+
+
+class TestParetoSizes:
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        sizes = pareto_sizes(10_000, rng, minimum=1, maximum=500)
+        assert sizes.min() >= 1 and sizes.max() <= 500
+
+    def test_heavy_tail(self):
+        rng = np.random.default_rng(0)
+        sizes = pareto_sizes(50_000, rng, shape=1.2, minimum=1, maximum=100_000)
+        # Mean far exceeds median for a heavy tail.
+        assert sizes.mean() > 2 * np.median(sizes)
