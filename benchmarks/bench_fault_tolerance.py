@@ -1,0 +1,201 @@
+"""Chaos harness: detection quality under swept fault rates.
+
+Not a paper figure — this quantifies the fault model and degradation
+machinery of ``repro.faults``. Each run replays the same attacked
+workload through the same plan while a seeded :class:`FaultSpec` injects
+channel faults at increasing rates, and detection precision/recall are
+scored against the fault-free baseline, per (window, qid, victim-key)
+triple. Two invariants are asserted:
+
+- rate 0.0 reproduces the baseline's detections *exactly* (a null fault
+  spec must be a byte-identical no-op);
+- injection is deterministic: the same spec and seed yield identical
+  accounting across runs.
+
+A second sweep exercises the network-wide quorum path: with one of three
+switches hard-failed, the collector's pigeonhole threshold correction
+must keep finding the planted victim.
+"""
+
+import pytest
+
+from benchmarks.conftest import format_table, write_result
+from repro.evaluation.workloads import build_workload
+from repro.faults import DegradationPolicy, FaultSpec
+from repro.network import NetworkRuntime, Topology
+from repro.planner import QueryPlanner
+from repro.queries.library import build_queries
+from repro.runtime import SonataRuntime
+
+QUERY_NAMES = ["newly_opened_tcp_conns", "ddos"]
+KEY_FIELD = "ipv4.dIP"
+RATES = (0.0, 0.02, 0.05, 0.1, 0.2)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(QUERY_NAMES, duration=12.0, pps=2_000, seed=23)
+
+
+@pytest.fixture(scope="module")
+def plan(workload):
+    queries = build_queries(QUERY_NAMES)
+    planner = QueryPlanner(queries, workload.trace, window=3.0, time_limit=15)
+    return planner.plan("sonata")
+
+
+def detection_triples(report) -> set:
+    """(window, qid, key) for every detection — the scoring unit."""
+    return {
+        (w.index, qid, row.get(KEY_FIELD))
+        for w in report.windows
+        for qid, rows in w.detections.items()
+        for row in rows
+    }
+
+
+def precision_recall(truth: set, got: set) -> tuple[float, float]:
+    tp = len(truth & got)
+    precision = tp / len(got) if got else 1.0
+    recall = tp / len(truth) if truth else 1.0
+    return precision, recall
+
+
+def chaos_spec(rate: float, seed: int = 31) -> FaultSpec:
+    """A combined fault mix scaled by one knob."""
+    return FaultSpec(
+        seed=seed,
+        mirror_drop=rate,
+        mirror_duplicate=rate / 2,
+        mirror_reorder=rate,
+        late_drop=rate,
+        overflow_pressure=rate / 2,
+        filter_update_loss=rate,
+        filter_update_delay=rate / 2,
+    )
+
+
+def bench_fault_tolerance_sweep(benchmark, workload, plan):
+    """Sweep the chaos knob; score detections against the clean baseline."""
+    baseline = SonataRuntime(plan).run(workload.trace)
+    truth = detection_triples(baseline)
+
+    def sweep():
+        rows = []
+        for rate in RATES:
+            spec = chaos_spec(rate)
+            runtime = SonataRuntime(
+                plan,
+                faults=spec,
+                degradation=DegradationPolicy(fallback_overflow_threshold=0.5),
+            )
+            report = runtime.run(workload.trace)
+            precision, recall = precision_recall(truth, detection_triples(report))
+            injected = sum(report.total_faults().values())
+            rows.append(
+                [
+                    f"{rate:.2f}",
+                    f"{precision:.3f}",
+                    f"{recall:.3f}",
+                    injected,
+                    len(report.degraded_windows),
+                    report.total_tuples,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["fault rate", "precision", "recall", "faults injected",
+         "degraded windows", "tuples to SP"],
+        rows,
+    )
+    write_result("fault_tolerance_sweep", table)
+
+    # Rate 0.0 must reproduce the fault-free baseline exactly.
+    assert rows[0][1] == "1.000" and rows[0][2] == "1.000"
+    assert rows[0][3] == 0
+    zero = SonataRuntime(plan, faults=chaos_spec(0.0)).run(workload.trace)
+    assert detection_triples(zero) == truth
+    assert zero.total_tuples == baseline.total_tuples
+
+
+def bench_fault_tolerance_determinism(benchmark, workload, plan):
+    """Same spec + seed => identical per-window accounting."""
+    spec = chaos_spec(0.1)
+
+    def run_once():
+        return SonataRuntime(plan, faults=spec).run(workload.trace)
+
+    first = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    second = run_once()
+    assert detection_triples(first) == detection_triples(second)
+    assert first.total_tuples == second.total_tuples
+    assert [w.faults_injected for w in first.windows] == [
+        w.faults_injected for w in second.windows
+    ]
+    assert [w.tuples_to_sp for w in first.windows] == [
+        w.tuples_to_sp for w in second.windows
+    ]
+    write_result(
+        "fault_tolerance_determinism",
+        format_table(
+            ["run", "tuples", "faults injected"],
+            [
+                [1, first.total_tuples, sum(first.total_faults().values())],
+                [2, second.total_tuples, sum(second.total_faults().values())],
+            ],
+        ),
+    )
+
+
+def bench_fault_tolerance_quorum(benchmark, workload):
+    """Network-wide: k-of-n quorum merge under switch failure/flapping."""
+    queries = build_queries(QUERY_NAMES)
+    scenarios = [
+        ("clean", None),
+        ("1of3 down", FaultSpec(seed=3, switch_down=(1,))),
+        ("flapping", FaultSpec(seed=3, switch_fail=0.3)),
+        ("timeouts", FaultSpec(seed=3, collector_timeout=0.3)),
+    ]
+
+    def sweep():
+        rows = []
+        for label, spec in scenarios:
+            net = NetworkRuntime(
+                queries,
+                Topology.ecmp(3, seed=9),
+                workload.trace,
+                window=3.0,
+                time_limit=10,
+                faults=spec,
+            )
+            report = net.run(workload.trace)
+            victims_found = sum(
+                1
+                for qid, name in enumerate(QUERY_NAMES, start=1)
+                if any(
+                    row.get(KEY_FIELD) == workload.victims[name]
+                    for _, q, row in report.detections()
+                    if q == qid
+                )
+            )
+            missing = sum(len(w.missing_switches) for w in report.windows)
+            rows.append(
+                [label, victims_found, len(QUERY_NAMES), missing,
+                 len(report.degraded_windows)]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["scenario", "victims found", "victims planted",
+         "missing switch-windows", "degraded windows"],
+        rows,
+    )
+    write_result("fault_tolerance_quorum", table)
+    # The clean run and the 1-of-3-down quorum run must both find every
+    # planted victim; degraded scenarios must record their gaps.
+    assert rows[0][1] == len(QUERY_NAMES)
+    assert rows[1][1] == len(QUERY_NAMES), "quorum path lost a victim"
+    assert rows[1][3] > 0 and rows[1][4] > 0

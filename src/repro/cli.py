@@ -165,7 +165,20 @@ def cmd_run(args: argparse.Namespace) -> int:
         queries, trace, window=args.window, time_limit=args.time_limit
     )
     plan = planner.plan(args.mode)
-    report = SonataRuntime(plan).run(trace)
+    faults = degradation = None
+    if args.faults or args.fallback_threshold is not None:
+        from repro.core.errors import PlanningError
+        from repro.faults import DegradationPolicy, parse_fault_spec
+
+        try:
+            if args.faults:
+                faults = parse_fault_spec(args.faults)
+            degradation = DegradationPolicy(
+                fallback_overflow_threshold=args.fallback_threshold
+            )
+        except PlanningError as exc:
+            raise SystemExit(f"--faults: {exc}") from None
+    report = SonataRuntime(plan, faults=faults, degradation=degradation).run(trace)
     print("window  packets  tuples->SP  detections")
     for window in report.windows:
         labels = []
@@ -177,14 +190,27 @@ def cmd_run(args: argparse.Namespace) -> int:
                 labels.append(
                     f"{name}:{format_ip(value) if isinstance(value, int) else value}"
                 )
+        degraded = "  [degraded]" if window.degraded else ""
         print(
             f"{window.index:>6}  {window.packets:>7}  {window.total_tuples:>10}  "
             + (", ".join(labels) or "-")
+            + degraded
         )
     print(
         f"total: {report.total_tuples} tuples for "
         f"{sum(w.packets for w in report.windows)} packets ({plan.mode})"
     )
+    if faults is not None:
+        injected = report.total_faults()
+        summary = (
+            ", ".join(f"{k}={v}" for k, v in sorted(injected.items())) or "none"
+        )
+        print(f"faults injected: {summary}")
+        if report.degraded_windows:
+            print(f"degraded windows: {report.degraded_windows}")
+        events = [e for w in report.windows for e in w.degradation_events]
+        if events:
+            print(f"degradation events: {', '.join(events)}")
     return 0
 
 
@@ -310,6 +336,19 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="plan and execute end to end")
     _add_trace_arg(run)
     _add_query_args(run)
+    run.add_argument(
+        "--faults",
+        default=None,
+        help="fault-injection spec, e.g. 'mirror_drop=0.05,overflow_pressure=0.1,"
+        "seed=42' (see repro.faults.FaultSpec for channels)",
+    )
+    run.add_argument(
+        "--fallback-threshold",
+        type=float,
+        default=None,
+        help="register-overflow rate above which an on-switch instance is "
+        "degraded to raw-mirror execution (default: disabled)",
+    )
     run.set_defaults(func=cmd_run)
 
     sub.add_parser("loc", help="regenerate the Table 3 LoC comparison").set_defaults(

@@ -1,0 +1,39 @@
+"""Deterministic fault injection and graceful degradation (robustness).
+
+The paper's runtime (§5) already reacts to one failure signal — register
+overflow from hash collisions — but assumes every other channel is
+lossless and instantaneous. This package makes the remaining channels
+first-class fault surfaces:
+
+- the switch → emitter mirror channel (tuple drop, duplication, reorder
+  past the window deadline);
+- register pressure (forced chain overflow, modelling traffic far above
+  the training-data sizing);
+- the control-plane channel carrying dynamic filter-table updates
+  (loss, delayed application);
+- whole switches in network-wide mode (hard failure and flapping);
+- the switch → collector report channel (missed collection deadline).
+
+Injection is fully deterministic: every channel draws from its own
+seeded PRNG stream (keyed by ``(scope, channel)`` with
+:func:`repro.utils.hashing.stable_hash`), so two runs with the same
+:class:`FaultSpec` produce byte-identical accounting, and enabling one
+channel never perturbs another's stream.
+
+The matching degradation machinery lives in the runtimes and is tuned by
+:class:`DegradationPolicy`: bounded retry-with-backoff for filter-table
+updates, a per-window watchdog that closes windows without late data (and
+records what was missed), automatic fallback of a pressured on-switch
+instance to raw-mirror execution, and collector-side quorum merging with
+the pigeonhole threshold correction when only k of n switches report.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import DegradationPolicy, FaultSpec, parse_fault_spec
+
+__all__ = [
+    "DegradationPolicy",
+    "FaultInjector",
+    "FaultSpec",
+    "parse_fault_spec",
+]

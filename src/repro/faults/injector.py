@@ -1,0 +1,165 @@
+"""The fault injector: seeded per-channel PRNG streams + fault accounting.
+
+One :class:`FaultInjector` wraps the channels of one pipeline (one switch
+runtime, or the network collector). Each channel draws from its own
+``random.Random`` seeded with ``stable_hash((scope, channel), seed)``, so:
+
+- two runs with the same :class:`~repro.faults.spec.FaultSpec` make
+  identical decisions in identical order (determinism);
+- channels are independent: raising the mirror-drop rate never shifts
+  the filter-update stream;
+- in network-wide mode every switch gets its own ``scope`` and therefore
+  its own independent streams.
+
+Every injected fault increments a per-window counter; the runtime drains
+the counters into ``WindowReport.faults_injected`` when the window closes.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro.faults.spec import FaultSpec
+from repro.switch.simulator import MirroredTuple
+from repro.utils.hashing import stable_hash
+
+#: Channel status values for switch reports in network-wide mode.
+SWITCH_OK = "ok"
+SWITCH_FAILED = "failed"
+SWITCH_TIMEOUT = "timeout"
+
+
+class FaultInjector:
+    """Injects the faults a :class:`FaultSpec` describes, deterministically."""
+
+    def __init__(self, spec: FaultSpec, scope: str = "") -> None:
+        self.spec = spec
+        self.scope = scope
+        self._streams: dict[str, random.Random] = {}
+        self._deferred: list[MirroredTuple] = []
+        self._counts: Counter = Counter()
+
+    def _rng(self, channel: str) -> random.Random:
+        rng = self._streams.get(channel)
+        if rng is None:
+            rng = random.Random(stable_hash((self.scope, channel), seed=self.spec.seed))
+            self._streams[channel] = rng
+        return rng
+
+    # -- accounting ---------------------------------------------------------
+    def take_window_counts(self) -> dict[str, int]:
+        """Return and reset the faults injected since the last call."""
+        counts = dict(self._counts)
+        self._counts.clear()
+        return counts
+
+    # -- mirror channel (switch -> emitter) ---------------------------------
+    def mirror(
+        self, tuples: list[MirroredTuple], allow_reorder: bool = True
+    ) -> list[MirroredTuple]:
+        """Apply drop/duplicate/reorder to a batch of mirrored tuples.
+
+        Reordered tuples are buffered and released by :meth:`drain_deferred`
+        at window end (where the watchdog's ``late_drop`` applies).
+        End-of-window key reports pass ``allow_reorder=False`` — they are
+        already produced at the deadline, so only drop/duplicate apply.
+        """
+        spec = self.spec
+        if not (spec.mirror_drop or spec.mirror_duplicate or spec.mirror_reorder):
+            return tuples
+        rng = self._rng("mirror")
+        out: list[MirroredTuple] = []
+        for tup in tuples:
+            if spec.mirror_drop and rng.random() < spec.mirror_drop:
+                self._counts["mirror_drop"] += 1
+                continue
+            if (
+                allow_reorder
+                and spec.mirror_reorder
+                and rng.random() < spec.mirror_reorder
+            ):
+                self._counts["mirror_reorder"] += 1
+                self._deferred.append(tup)
+                continue
+            out.append(tup)
+            if spec.mirror_duplicate and rng.random() < spec.mirror_duplicate:
+                self._counts["mirror_duplicate"] += 1
+                out.append(tup)
+        return out
+
+    def drain_deferred(self) -> list[MirroredTuple]:
+        """Release reordered tuples at window end, minus deadline misses."""
+        deferred, self._deferred = self._deferred, []
+        if not deferred:
+            return deferred
+        spec = self.spec
+        if not spec.late_drop:
+            return deferred
+        rng = self._rng("deadline")
+        survivors = []
+        for tup in deferred:
+            if rng.random() < spec.late_drop:
+                self._counts["late_drop"] += 1
+            else:
+                survivors.append(tup)
+        return survivors
+
+    # -- register pressure ---------------------------------------------------
+    def force_overflow(self, instance_key: str) -> bool:
+        """Force this register update to overflow the whole chain?"""
+        if not self.spec.overflow_pressure:
+            return False
+        if self._rng("overflow").random() < self.spec.overflow_pressure:
+            self._counts["forced_overflow"] += 1
+            return True
+        return False
+
+    # -- control plane (filter-table updates) --------------------------------
+    def filter_update_outcome(self) -> str:
+        """One delivery attempt: ``"ok"``, ``"loss"`` or ``"delay"``."""
+        spec = self.spec
+        if not (spec.filter_update_loss or spec.filter_update_delay):
+            return "ok"
+        rng = self._rng("filter")
+        roll = rng.random()
+        if roll < spec.filter_update_loss:
+            self._counts["filter_update_loss"] += 1
+            return "loss"
+        if roll < spec.filter_update_loss + spec.filter_update_delay:
+            self._counts["filter_update_delay"] += 1
+            return "delay"
+        return "ok"
+
+    # -- network-wide: switch liveness and report delivery --------------------
+    def switch_report(self, switch_id: int, window_index: int) -> str:
+        """Did ``switch_id``'s report for this window reach the collector?
+
+        Deterministic per ``(switch_id, window_index)`` — collection order
+        cannot change the outcome.
+        """
+        spec = self.spec
+        if switch_id in spec.switch_down:
+            self._counts["switch_failed"] += 1
+            return SWITCH_FAILED
+        if spec.switch_fail:
+            rng = random.Random(
+                stable_hash(
+                    (self.scope, "switch_fail", switch_id, window_index),
+                    seed=spec.seed,
+                )
+            )
+            if rng.random() < spec.switch_fail:
+                self._counts["switch_failed"] += 1
+                return SWITCH_FAILED
+        if spec.collector_timeout:
+            rng = random.Random(
+                stable_hash(
+                    (self.scope, "collector_timeout", switch_id, window_index),
+                    seed=spec.seed,
+                )
+            )
+            if rng.random() < spec.collector_timeout:
+                self._counts["collector_timeout"] += 1
+                return SWITCH_TIMEOUT
+        return SWITCH_OK

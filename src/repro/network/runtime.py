@@ -30,6 +30,8 @@ from typing import Iterable
 from repro.core.errors import PlanningError
 from repro.core.operators import Distinct, Reduce
 from repro.core.query import Query, SubQuery
+from repro.faults import DegradationPolicy, FaultInjector, FaultSpec
+from repro.faults.injector import SWITCH_FAILED, SWITCH_OK
 from repro.network.topology import Topology
 from repro.packets.trace import Trace
 from repro.planner import QueryPlanner
@@ -76,6 +78,19 @@ class NetworkWindowReport:
     switch_tuples: list[int]  # per switch: tuples switch -> local SP
     collector_tuples: int  # partial-aggregate rows sent to the collector
     detections: dict[int, list[Row]]  # per qid, network-wide
+    #: Switches whose report never reached the collector this window
+    #: (hard failure, flapping, or a missed collection deadline).
+    missing_switches: list[int] = field(default_factory=list)
+    #: True when the window closed on partial data (missing switches,
+    #: below-quorum close, or any per-switch degradation).
+    degraded: bool = False
+    #: Pigeonhole threshold correction applied at the collector: with k of
+    #: n switches reporting, thresholds are scaled by k/n so an attack
+    #: whose observed fraction crosses proportionally is still caught.
+    quorum_scale: float = 1.0
+    #: Faults injected this window, aggregated over the reporting
+    #: switches' pipelines plus the collector's own channels.
+    faults_injected: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_switch_tuples(self) -> int:
@@ -85,6 +100,10 @@ class NetworkWindowReport:
 @dataclass
 class NetworkRunReport:
     windows: list[NetworkWindowReport] = field(default_factory=list)
+
+    @property
+    def degraded_windows(self) -> list[int]:
+        return [w.index for w in self.windows if w.degraded]
 
     def detections(self) -> list[tuple[int, int, Row]]:
         return [
@@ -116,6 +135,8 @@ class NetworkRuntime:
         mode: str = "sonata",
         local_threshold_scale: bool = True,
         time_limit: float = 20.0,
+        faults: FaultSpec | None = None,
+        degradation: DegradationPolicy | None = None,
     ) -> None:
         self.queries = list(queries)
         if not self.queries:
@@ -123,6 +144,15 @@ class NetworkRuntime:
         self.topology = topology
         self.window = window
         self.local_threshold_scale = local_threshold_scale
+        self.degradation = degradation or DegradationPolicy()
+        self.faults = faults
+        #: The collector's own fault channels (switch liveness, report
+        #: deadlines); per-switch pipeline channels live in each runtime.
+        self._collector_faults = (
+            FaultInjector(faults, scope="collector")
+            if faults is not None and faults.active
+            else None
+        )
         self._original_thresholds = {
             query.qid: {
                 sq.subid: trailing_threshold_fields(sq)
@@ -146,7 +176,14 @@ class NetworkRuntime:
                 window=window,
                 time_limit=time_limit,
             )
-            self.runtimes.append(SonataRuntime(planner.plan(mode)))
+            self.runtimes.append(
+                SonataRuntime(
+                    planner.plan(mode),
+                    faults=faults,
+                    degradation=degradation,
+                    fault_scope=f"switch{switch_id}",
+                )
+            )
 
     # -- execution ----------------------------------------------------------
     def run(self, trace: Trace) -> NetworkRunReport:
@@ -170,12 +207,34 @@ class NetworkRuntime:
             lambda: defaultdict(list)
         )
         collector_tuples = 0
-        for report in per_switch_reports:
+        missing: list[int] = []
+        faults_injected: dict[str, int] = defaultdict(int)
+        switch_degraded = False
+        for switch_id, report in enumerate(per_switch_reports):
             if index >= len(report.windows):
                 switch_tuples.append(0)
                 continue
             window = report.windows[index]
+            status = (
+                self._collector_faults.switch_report(switch_id, index)
+                if self._collector_faults is not None
+                else SWITCH_OK
+            )
+            if status == SWITCH_FAILED:
+                # Hard failure / flapping: the switch produced nothing and
+                # did not report. Its traffic is unobserved this window.
+                switch_tuples.append(0)
+                missing.append(switch_id)
+                continue
             switch_tuples.append(window.total_tuples)
+            for channel, count in window.faults_injected.items():
+                faults_injected[channel] += count
+            switch_degraded = switch_degraded or window.degraded
+            if status != SWITCH_OK:
+                # Report missed the collector deadline: the local pipeline
+                # ran (tuples counted) but its partials are not merged.
+                missing.append(switch_id)
+                continue
             for query in self._local_queries:
                 finest = 32
                 for sq in query.subqueries:
@@ -191,21 +250,46 @@ class NetworkRuntime:
                     merged_leaves[query.qid][sq.subid].extend(rows)
                     collector_tuples += len(rows)
 
+        if self._collector_faults is not None:
+            for channel, count in self._collector_faults.take_window_counts().items():
+                faults_injected[channel] += count
+
+        # Quorum merge: close the window with whatever k of n switches
+        # reported. With local thresholds scaled to Th/n, partial sums over
+        # k switches are compared against Th * k/n (pigeonhole correction)
+        # so proportionally-crossing attacks survive missing reporters.
+        n = self.topology.n_switches
+        reporting = n - len(missing)
+        scale = 1.0
+        if missing and self.local_threshold_scale and reporting > 0:
+            scale = reporting / n
         detections: dict[int, list[Row]] = {}
-        for query, local in zip(self.queries, self._local_queries):
-            leaf_outputs: dict[int, list[Row] | None] = {}
-            for sq, local_sq in zip(query.subqueries, local.subqueries):
-                rows = merged_leaves[query.qid][sq.subid]
-                rows = self._merge_partials(local_sq, rows)
-                rows = self._apply_original_thresholds(query, sq, rows)
-                leaf_outputs[sq.subid] = rows
-            output = assemble_join_tree(query.join_tree, leaf_outputs) or []
-            detections[query.qid] = output
+        if reporting >= self.degradation.quorum:
+            for query, local in zip(self.queries, self._local_queries):
+                leaf_outputs: dict[int, list[Row] | None] = {}
+                for sq, local_sq in zip(query.subqueries, local.subqueries):
+                    rows = merged_leaves[query.qid][sq.subid]
+                    rows = self._merge_partials(local_sq, rows)
+                    rows = self._apply_original_thresholds(query, sq, rows, scale)
+                    leaf_outputs[sq.subid] = rows
+                output = assemble_join_tree(query.join_tree, leaf_outputs) or []
+                detections[query.qid] = output
+        else:
+            # Below quorum: the watchdog still closes the window — with no
+            # detections — rather than blocking on reports that will never
+            # arrive; the gap is visible in missing_switches/degraded.
+            detections = {query.qid: [] for query in self.queries}
         return NetworkWindowReport(
             index=index,
             switch_tuples=switch_tuples,
             collector_tuples=collector_tuples,
             detections=detections,
+            missing_switches=missing,
+            degraded=bool(missing)
+            or switch_degraded
+            or reporting < self.degradation.quorum,
+            quorum_scale=scale,
+            faults_injected=dict(faults_injected),
         )
 
     @staticmethod
@@ -229,9 +313,15 @@ class NetworkRuntime:
         return rows
 
     def _apply_original_thresholds(
-        self, query: Query, sq: SubQuery, rows: list[Row]
+        self, query: Query, sq: SubQuery, rows: list[Row], scale: float = 1.0
     ) -> list[Row]:
+        """Apply network-wide thresholds, scaled by the reporting quorum.
+
+        ``scale`` is k/n when only k of n switches reported (pigeonhole:
+        the k observed partials of a threshold-crossing key sum to at
+        least ``Th * k/n`` under a proportional traffic split).
+        """
         thresholds = self._original_thresholds[query.qid][sq.subid]
         for fld, value in thresholds.items():
-            rows = [row for row in rows if fld in row and row[fld] > value]
+            rows = [row for row in rows if fld in row and row[fld] > value * scale]
         return rows

@@ -53,6 +53,15 @@ class WindowReport:
     #: training data underestimated the key population.
     overflow_stats: dict[str, tuple[int, int]] = field(default_factory=dict)
     filter_update_seconds: float = 0.0
+    #: Faults injected this window, per channel (e.g. ``mirror_drop``);
+    #: empty when no fault injector is attached.
+    faults_injected: dict[str, int] = field(default_factory=dict)
+    #: True when the runtime served this window in degraded mode: a
+    #: filter update was lost or deferred, late tuples missed the window
+    #: watchdog deadline, or an instance is running as raw-mirror fallback.
+    degraded: bool = False
+    #: Human-readable degradation records, e.g. ``fallback:q1/32/0``.
+    degradation_events: list[str] = field(default_factory=list)
 
     def overflow_rate(self, instance_key: str) -> float:
         updates, overflows = self.overflow_stats.get(instance_key, (0, 0))
@@ -69,10 +78,27 @@ class RunReport:
 
     windows: list[WindowReport] = field(default_factory=list)
     plan_mode: str = ""
+    #: True when :meth:`SonataRuntime.run` was handed a trace with zero
+    #: windows — the zero totals below mean "nothing ran", not "nothing
+    #: was detected over real traffic".
+    empty_trace: bool = False
 
     @property
     def total_tuples(self) -> int:
         return sum(w.total_tuples for w in self.windows)
+
+    @property
+    def degraded_windows(self) -> list[int]:
+        """Indices of windows served in degraded mode."""
+        return [w.index for w in self.windows if w.degraded]
+
+    def total_faults(self) -> dict[str, int]:
+        """Faults injected over the whole run, summed per channel."""
+        totals: dict[str, int] = defaultdict(int)
+        for window in self.windows:
+            for channel, count in window.faults_injected.items():
+                totals[channel] += count
+        return dict(totals)
 
     def tuples_per_query(self) -> dict[int, int]:
         totals: dict[int, int] = defaultdict(int)
@@ -113,11 +139,31 @@ class SonataRuntime:
         on_retrain=None,
         retrain_overflow_threshold: float = 0.05,
         wire_check: bool = False,
+        faults=None,
+        degradation=None,
+        fault_scope: str = "",
     ) -> None:
         self.plan = plan
         self.on_retrain = on_retrain
         self.retrain_overflow_threshold = retrain_overflow_threshold
         self.retrain_signals: list[int] = []  # window indices that fired
+        #: Fault injection (``faults``: a :class:`repro.faults.FaultSpec`)
+        #: and the matching degradation policy. ``fault_scope`` namespaces
+        #: the injector's PRNG streams (per-switch in network-wide mode).
+        from repro.faults import DegradationPolicy, FaultInjector
+
+        self.degradation = degradation or DegradationPolicy()
+        self.faults = (
+            FaultInjector(faults, scope=fault_scope)
+            if faults is not None and faults.active
+            else None
+        )
+        #: Filter-table updates deferred by the fault injector; applied at
+        #: the start of the next window (stale-plan semantics).
+        self._pending_filter_updates: list[tuple[str, set]] = []
+        #: Instances degraded to raw-mirror execution (exact, but at full
+        #: per-packet tuple cost) after sustained register overflow.
+        self.fallen_back: set[str] = set()
         #: When set, every mirrored tuple is round-tripped through the
         #: emitter's binary wire format (§5), proving the configured
         #: per-instance schemas reconstruct the stream processor's input
@@ -129,6 +175,7 @@ class SonataRuntime:
 
             self._wire_codec = WireCodec()
         self.switch = PISASwitch(plan.switch_config)
+        self.switch.fault_injector = self.faults
         self.stream_processor = StreamProcessor()
         self._instances: dict[str, InstancePlan] = {}
         self._raw_mirror: list[InstancePlan] = []  # cut == 0 instances
@@ -176,6 +223,11 @@ class SonataRuntime:
                     "queries use different window sizes; pass window explicitly"
                 )
             window = windows.pop()
+        if len(trace) == 0:
+            # Zero windows: return an explicitly-marked empty report so
+            # helpers (first_detection, total_tuples) read as "never ran"
+            # rather than as a clean run that detected nothing.
+            return RunReport(plan_mode=self.plan.mode, empty_trace=True)
         report = RunReport(plan_mode=self.plan.mode)
         for index, (start, sub_trace) in enumerate(trace.windows(window, origin=origin)):
             report.windows.append(
@@ -186,16 +238,41 @@ class SonataRuntime:
     def _run_window(
         self, index: int, start: float, end: float, window_trace: Trace
     ) -> WindowReport:
+        faults = self.faults
+        events: list[str] = []
+        update_seconds = 0.0
+
+        # 0. Apply filter-table updates the injector deferred last window.
+        if self._pending_filter_updates:
+            pending, self._pending_filter_updates = self._pending_filter_updates, []
+            for name, keys in pending:
+                update_seconds += self.switch.update_filter_table(name, keys)
+
         # 1. Data plane.
         if self.switch.instances:
             for packet in window_trace.packets():
                 mirrored = self.switch.process_packet(packet)
+                if faults is not None:
+                    mirrored = faults.mirror(mirrored)
                 if self._wire_codec is not None:
                     mirrored = [self._wire_roundtrip(m) for m in mirrored]
                 self.emitter.ingest(mirrored)
+        if faults is not None:
+            # Watchdog: reordered tuples that still make the window
+            # deadline are delivered out of order; late ones are dropped
+            # and recorded below (``late_drop`` in faults_injected).
+            late = faults.drain_deferred()
+            if self._wire_codec is not None:
+                late = [self._wire_roundtrip(m) for m in late]
+            self.emitter.ingest(late)
         key_reports = self.switch.end_window(
             full_dump=self.emitter.overflow_instances()
         )
+        if faults is not None:
+            key_reports = {
+                key: faults.mirror(reports, allow_reorder=False)
+                for key, reports in key_reports.items()
+            }
         if self._wire_codec is not None:
             key_reports = {
                 key: [self._wire_roundtrip(m) for m in reports]
@@ -234,7 +311,6 @@ class SonataRuntime:
         detections: dict[int, list[Row]] = {}
         level_outputs: dict[tuple[int, int], list[Row]] = {}
         sub_outputs: dict[tuple[int, int, int], list[Row]] = {}
-        update_seconds = 0.0
         for qid, qplan in self.plan.query_plans.items():
             finest = qplan.path[-1] if qplan.path else None
             for r_prev, r_level in qplan.transitions():
@@ -254,9 +330,14 @@ class SonataRuntime:
                         for row in output
                         if qplan.spec.key_field in row
                     }
-                    update_seconds += self.switch.update_filter_table(
-                        filter_table_name(qid, r_level), keys
+                    update_seconds += self._update_filter_table(
+                        filter_table_name(qid, r_level), keys, events
                     )
+
+        faults_injected = faults.take_window_counts() if faults is not None else {}
+        late_tuples = faults_injected.get("late_drop", 0)
+        if late_tuples:
+            events.append(f"late_tuples:{late_tuples}")
 
         report = WindowReport(
             index=index,
@@ -270,6 +351,8 @@ class SonataRuntime:
             tuples_per_instance=dict(tuples_per_instance),
             overflow_stats=dict(self.switch.window_overflow_stats),
             filter_update_seconds=update_seconds,
+            faults_injected=faults_injected,
+            degradation_events=events,
         )
         if any(
             report.overflow_rate(key) > self.retrain_overflow_threshold
@@ -278,7 +361,51 @@ class SonataRuntime:
             self.retrain_signals.append(index)
             if self.on_retrain is not None:
                 self.on_retrain(report)
+
+        # Graceful degradation: an instance drowning in register overflow
+        # is pulled off the switch and executed raw-mirror from the next
+        # window on — exact results at full per-packet tuple cost.
+        threshold = self.degradation.fallback_overflow_threshold
+        if threshold is not None:
+            for key in list(self.switch.instances):
+                if report.overflow_rate(key) > threshold:
+                    self._fall_back_instance(key)
+                    events.append(f"fallback:{key}")
+        report.degraded = bool(events) or bool(self.fallen_back)
         return report
+
+    def _fall_back_instance(self, key: str) -> None:
+        """Degrade an on-switch instance to raw-mirror (all-SP) execution."""
+        inst = self._instances[key]
+        self.switch.uninstall(key)
+        self._raw_mirror.append(inst)
+        self.fallen_back.add(key)
+
+    def _update_filter_table(
+        self, name: str, keys: set, events: list[str]
+    ) -> float:
+        """Apply a refinement update through the faulty control plane.
+
+        Lost updates are retried with exponential backoff up to the
+        policy's budget; a deferred update lands next window. Either way
+        the window closes on time with the stale table and the event is
+        recorded — refinement lags rather than the pipeline stalling.
+        """
+        if self.faults is None:
+            return self.switch.update_filter_table(name, keys)
+        policy = self.degradation
+        seconds = 0.0
+        for attempt in range(policy.filter_update_retries + 1):
+            outcome = self.faults.filter_update_outcome()
+            if outcome == "ok":
+                return seconds + self.switch.update_filter_table(name, keys)
+            if outcome == "delay":
+                self._pending_filter_updates.append((name, set(keys)))
+                events.append(f"filter_update_delayed:{name}")
+                return seconds
+            seconds += policy.retry_backoff_seconds * (2 ** attempt)
+        events.append(f"filter_update_lost:{name}")
+        return seconds
 
     def _wire_roundtrip(self, mirrored):
         """Encode + decode a tuple via the wire format; must be lossless."""

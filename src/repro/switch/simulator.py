@@ -111,6 +111,10 @@ class PISASwitch:
         self.packets_dropped = 0
         #: Times a refinement update exceeded the filter-table capacity.
         self.filter_table_truncations = 0
+        #: Optional :class:`repro.faults.FaultInjector`; when set, its
+        #: ``force_overflow`` channel can overflow register updates to
+        #: model key populations above the training-data sizing.
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # Installation and resource verification
@@ -383,6 +387,13 @@ class PISASwitch:
             if isinstance(op, Distinct):
                 keys = op.effective_keys(schemas[i])
                 key = tuple(tup[k] for k in keys)
+                if self._forced_overflow(inst, i):
+                    return MirroredTuple(
+                        instance=inst.key,
+                        kind="overflow",
+                        fields={k: tup[k] for k in keys},
+                        op_index=i,
+                    )
                 result = inst.chains[i].update(key, "or", 1)
                 if result.overflowed:
                     return MirroredTuple(
@@ -406,6 +417,15 @@ class PISASwitch:
                 arg = 1 if value_field is None else int(tup[value_field])
                 key = tuple(tup[k] for k in op.keys)
                 func = "count" if value_field is None and op.func == "sum" else op.func
+                if self._forced_overflow(inst, i):
+                    fields = {k: tup[k] for k in op.keys}
+                    fields[op.out] = arg if func != "count" else 1
+                    return MirroredTuple(
+                        instance=inst.key,
+                        kind="overflow",
+                        fields=fields,
+                        op_index=i,
+                    )
                 result = inst.chains[i].update(key, func, arg)
                 if result.overflowed:
                     fields = {k: tup[k] for k in op.keys}
@@ -428,6 +448,26 @@ class PISASwitch:
             raise ResourceExhaustedError(f"operator {op!r} cannot run on the switch")
 
         # Stateless-last instance: the surviving packet is mirrored.
+        return self._mirror_surviving(inst, packet, tup, schemas)
+
+    def _forced_overflow(self, inst: InstalledInstance, op_index: int) -> bool:
+        """Fault injection: pretend the whole chain collided for this update.
+
+        Counted against the chain's window stats so the §5 overflow-rate
+        signal (re-training, raw-mirror fallback) sees the pressure.
+        """
+        injector = self.fault_injector
+        if injector is None or not injector.force_overflow(inst.key):
+            return False
+        chain = inst.chains.get(op_index)
+        if chain is not None:
+            chain.updates += 1
+            chain.overflows += 1
+        return True
+
+    def _mirror_surviving(
+        self, inst: InstalledInstance, packet: Packet, tup, schemas
+    ) -> MirroredTuple:
         inst.packets_surviving += 1
         schema = schemas[inst.n_operators]
         fields = {name: tup[name] for name in schema.fields}
@@ -457,6 +497,9 @@ class PISASwitch:
         """
         full_dump = full_dump or set()
         reports: dict[str, list[MirroredTuple]] = {}
+        # Rebuilt from scratch so stats of uninstalled instances (e.g. a
+        # raw-mirror fallback) don't linger and re-trigger signals.
+        self.window_overflow_stats = {}
         for inst in self.instances.values():
             out: list[MirroredTuple] = []
             if inst.n_operators > 0 and inst.last_op_stateful:

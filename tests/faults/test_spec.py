@@ -1,0 +1,75 @@
+"""FaultSpec / DegradationPolicy validation and the CLI spec parser."""
+
+import pytest
+
+from repro.core.errors import PlanningError
+from repro.faults import DegradationPolicy, FaultSpec, parse_fault_spec
+
+
+class TestFaultSpec:
+    def test_defaults_are_inert(self):
+        assert not FaultSpec().active
+        assert not FaultSpec(seed=1234).active
+
+    def test_any_rate_activates(self):
+        assert FaultSpec(mirror_drop=0.1).active
+        assert FaultSpec(overflow_pressure=0.01).active
+        assert FaultSpec(switch_down=(2,)).active
+
+    @pytest.mark.parametrize("name", [
+        "mirror_drop", "mirror_duplicate", "mirror_reorder", "late_drop",
+        "overflow_pressure", "filter_update_loss", "filter_update_delay",
+        "switch_fail", "collector_timeout",
+    ])
+    def test_rates_validated(self, name):
+        with pytest.raises(PlanningError):
+            FaultSpec(**{name: 1.5})
+        with pytest.raises(PlanningError):
+            FaultSpec(**{name: -0.1})
+
+    def test_negative_switch_id_rejected(self):
+        with pytest.raises(PlanningError):
+            FaultSpec(switch_down=(-1,))
+
+
+class TestParseFaultSpec:
+    def test_full_spec(self):
+        spec = parse_fault_spec(
+            "mirror_drop=0.05, overflow_pressure=0.1, seed=42, switch_down=0|2"
+        )
+        assert spec == FaultSpec(
+            seed=42, mirror_drop=0.05, overflow_pressure=0.1, switch_down=(0, 2)
+        )
+
+    def test_empty_entries_skipped(self):
+        assert parse_fault_spec("mirror_drop=0.5,,") == FaultSpec(mirror_drop=0.5)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(PlanningError):
+            parse_fault_spec("packet_loss=0.5")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(PlanningError):
+            parse_fault_spec("mirror_drop=lots")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(PlanningError):
+            parse_fault_spec("mirror_drop")
+
+
+class TestDegradationPolicy:
+    def test_defaults(self):
+        policy = DegradationPolicy()
+        assert policy.filter_update_retries == 3
+        assert policy.fallback_overflow_threshold is None
+        assert policy.quorum == 1
+
+    def test_validation(self):
+        with pytest.raises(PlanningError):
+            DegradationPolicy(filter_update_retries=-1)
+        with pytest.raises(PlanningError):
+            DegradationPolicy(quorum=0)
+        with pytest.raises(PlanningError):
+            DegradationPolicy(fallback_overflow_threshold=2.0)
+        with pytest.raises(PlanningError):
+            DegradationPolicy(retry_backoff_seconds=-0.1)

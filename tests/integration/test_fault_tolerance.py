@@ -1,0 +1,140 @@
+"""Network-wide fault tolerance: quorum merging under switch failures."""
+
+import pytest
+
+from repro.evaluation.workloads import build_workload
+from repro.faults import DegradationPolicy, FaultSpec
+from repro.network import NetworkRuntime, Topology
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(
+        ["newly_opened_tcp_conns"], duration=12.0, pps=2_000, seed=17
+    )
+
+
+@pytest.fixture(scope="module")
+def queries():
+    from repro.queries.library import build_queries
+
+    return build_queries(["newly_opened_tcp_conns"])
+
+
+def make_net(workload, queries, **kwargs):
+    return NetworkRuntime(
+        queries,
+        Topology.ecmp(3, seed=3),
+        workload.trace,
+        window=3.0,
+        time_limit=10,
+        **kwargs,
+    )
+
+
+class TestSwitchFailure:
+    @pytest.fixture(scope="class")
+    def one_down(self, workload, queries):
+        net = make_net(workload, queries, faults=FaultSpec(seed=1, switch_down=(1,)))
+        return net.run(workload.trace)  # must not raise
+
+    def test_missing_switch_recorded(self, one_down):
+        assert all(
+            w.missing_switches == [1] for w in one_down.windows if w.degraded
+        )
+        assert any(w.degraded for w in one_down.windows)
+
+    def test_quorum_still_detects_victim(self, workload, one_down):
+        victim = workload.victims["newly_opened_tcp_conns"]
+        assert any(
+            row.get("ipv4.dIP") == victim
+            for _, qid, row in one_down.detections()
+            if qid == 1
+        )
+
+    def test_pigeonhole_scale_is_k_over_n(self, one_down):
+        for window in one_down.windows:
+            if window.missing_switches:
+                assert window.quorum_scale == pytest.approx(2 / 3)
+            else:
+                assert window.quorum_scale == 1.0
+
+    def test_failed_switch_counts_no_tuples(self, one_down):
+        for window in one_down.windows:
+            if window.missing_switches == [1]:
+                assert window.switch_tuples[1] == 0
+
+    def test_clean_run_not_degraded(self, workload, queries):
+        report = make_net(workload, queries).run(workload.trace)
+        assert report.degraded_windows == []
+        assert all(not w.missing_switches for w in report.windows)
+        assert all(w.quorum_scale == 1.0 for w in report.windows)
+
+
+class TestQuorum:
+    def test_below_quorum_closes_empty_but_alive(self, workload, queries):
+        """All switches down: every window closes with no detections and
+        full degradation accounting — and nothing raises."""
+        net = make_net(
+            workload,
+            queries,
+            faults=FaultSpec(seed=1, switch_down=(0, 1, 2)),
+            degradation=DegradationPolicy(quorum=1),
+        )
+        report = net.run(workload.trace)
+        for window in report.windows:
+            assert window.detections == {1: []}
+            assert window.missing_switches
+            assert window.degraded
+        # in full windows every switch is recorded as missing
+        assert report.windows[0].missing_switches == [0, 1, 2]
+        assert report.windows[0].switch_tuples == [0, 0, 0]
+
+    def test_strict_quorum_blocks_single_reporter(self, workload, queries):
+        net = make_net(
+            workload,
+            queries,
+            faults=FaultSpec(seed=1, switch_down=(0, 1)),
+            degradation=DegradationPolicy(quorum=2),
+        )
+        report = net.run(workload.trace)
+        assert all(w.detections == {1: []} for w in report.windows)
+        assert all(w.degraded for w in report.windows)
+
+
+class TestFlappingAndTimeouts:
+    def test_flapping_is_deterministic(self, workload, queries):
+        spec = FaultSpec(seed=21, switch_fail=0.4)
+        a = make_net(workload, queries, faults=spec).run(workload.trace)
+        b = make_net(workload, queries, faults=spec).run(workload.trace)
+        assert [w.missing_switches for w in a.windows] == [
+            w.missing_switches for w in b.windows
+        ]
+        assert [w.switch_tuples for w in a.windows] == [
+            w.switch_tuples for w in b.windows
+        ]
+        # the chosen seed actually flaps at least once
+        assert any(w.missing_switches for w in a.windows)
+
+    def test_timeout_counts_tuples_but_skips_merge(self, workload, queries):
+        report = make_net(
+            workload, queries, faults=FaultSpec(seed=2, collector_timeout=1.0)
+        ).run(workload.trace)
+        for window in report.windows:
+            # every live switch timed out: nothing reached the merge
+            assert window.missing_switches
+            assert window.detections == {1: []}
+            assert window.faults_injected.get("collector_timeout", 0) > 0
+        # unlike hard failure, the local pipelines did the work: their
+        # tuples are still counted against the switch -> SP channel
+        assert report.total_switch_tuples > 0
+
+    def test_channel_faults_propagate_to_network_accounting(
+        self, workload, queries
+    ):
+        report = make_net(
+            workload, queries, faults=FaultSpec(seed=4, mirror_drop=0.3)
+        ).run(workload.trace)
+        assert sum(
+            w.faults_injected.get("mirror_drop", 0) for w in report.windows
+        ) > 0

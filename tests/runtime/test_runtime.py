@@ -142,6 +142,75 @@ class TestOverflowPath:
             assert got == expected
 
 
+class TestEmptyTrace:
+    def test_run_on_empty_trace_is_marked_not_misleading(self, planner):
+        """Zero windows must yield an explicitly-empty report, not a
+        'clean run with zero detections' that helpers misread."""
+        plan = planner.plan("sonata")
+        report = SonataRuntime(plan).run(Trace.empty())
+        assert report.empty_trace
+        assert report.windows == []
+        assert report.first_detection(1) is None
+        assert report.total_tuples == 0
+        assert report.detections() == []
+        assert report.tuples_per_query() == {}
+        assert report.degraded_windows == []
+
+    def test_nonempty_run_not_marked(self, planner, trace):
+        report = SonataRuntime(planner.plan("sonata")).run(trace)
+        assert not report.empty_trace
+        assert report.windows
+
+
+class TestRetrainSignal:
+    def test_overflow_fires_retrain_once_per_offending_window(self, trace, query):
+        """§5: sustained register overflow above the threshold triggers the
+        re-planning callback — exactly once per offending window."""
+        from repro.switch.registers import RegisterSpec
+
+        planner = QueryPlanner([query], trace, window=3.0, time_limit=20)
+        plan = planner.plan("max_dp")
+        inst = plan.query_plans[1].instances[0]
+        inst.tables = [
+            t.sized(
+                RegisterSpec(t.register.name, n_slots=16, d=1,
+                             key_bits=t.register.key_bits,
+                             value_bits=t.register.value_bits)
+            )
+            if t.stateful
+            else t
+            for t in inst.tables
+        ]
+        inst.stage_assignment = None
+        fired = []
+        runtime = SonataRuntime(
+            plan,
+            on_retrain=lambda report: fired.append(report.index),
+            retrain_overflow_threshold=0.05,
+        )
+        report = runtime.run(trace)
+        offending = [
+            w.index
+            for w in report.windows
+            if any(w.overflow_rate(key) > 0.05 for key in w.overflow_stats)
+        ]
+        assert offending, "tiny registers should overflow every busy window"
+        assert fired == offending  # once per offending window, in order
+        assert runtime.retrain_signals == offending
+        assert len(set(fired)) == len(fired)
+
+    def test_no_retrain_below_threshold(self, planner, trace):
+        fired = []
+        runtime = SonataRuntime(
+            planner.plan("max_dp"),
+            on_retrain=lambda report: fired.append(report.index),
+            retrain_overflow_threshold=1.0,  # unreachable
+        )
+        runtime.run(trace)
+        assert fired == []
+        assert runtime.retrain_signals == []
+
+
 class TestMultiQuery:
     def test_two_queries_isolated(self, request):
         backbone = request.getfixturevalue("backbone_medium")

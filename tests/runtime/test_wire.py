@@ -80,6 +80,67 @@ class TestCodec:
         assert len(codec.encode(tup)) == 4 + 4 + 8 + 2 + 2
 
 
+class TestRandomizedRoundTrip:
+    """Property-style: any configurable schema must round-trip losslessly."""
+
+    N_SCHEMAS = 40
+    TUPLES_PER_SCHEMA = 5
+
+    @staticmethod
+    def random_schema(rng):
+        """(field -> bit width) with a mix of int, payload and DNS fields."""
+        schema = {}
+        for i in range(rng.randint(1, 6)):
+            schema[f"f{i}"] = rng.choice([1, 4, 7, 8, 16, 31, 32, 48, 64])
+        if rng.random() < 0.5:
+            schema["payload"] = 0
+        if rng.random() < 0.5:
+            schema["dns.rr.name"] = 0
+        return schema
+
+    @staticmethod
+    def random_value(rng, name, bits):
+        if name == "payload":
+            return bytes(rng.randrange(256) for _ in range(rng.randint(0, 40)))
+        if name == "dns.rr.name":
+            labels = [
+                "".join(rng.choice("abcxyz0123-") for _ in range(rng.randint(1, 12)))
+                for _ in range(rng.randint(1, 4))
+            ]
+            return ".".join(labels)
+        # ints: bias toward the width boundaries where truncation bugs live
+        top = (1 << bits) - 1
+        return rng.choice([0, 1, top, top - 1 if top else 0, rng.randint(0, top)])
+
+    def test_randomized_schemas_roundtrip(self):
+        import random
+
+        rng = random.Random(20260805)  # seeded: failures reproduce exactly
+        codec = WireCodec()
+        for which in range(self.N_SCHEMAS):
+            key = f"inst{which}"
+            schema = self.random_schema(rng)
+            codec.configure(key, schema)
+            for _ in range(self.TUPLES_PER_SCHEMA):
+                tup = MirroredTuple(
+                    instance=key,
+                    kind=rng.choice(["stream", "key_report", "overflow"]),
+                    fields={
+                        name: self.random_value(rng, name, bits)
+                        for name, bits in schema.items()
+                    },
+                    op_index=rng.randint(0, 255),
+                )
+                decoded = codec.decode(codec.encode(tup))
+                assert decoded == tup, f"schema {schema} broke round-trip"
+
+    def test_max_width_int_boundary(self):
+        codec = WireCodec()
+        codec.configure("wide", {"v": 64})
+        tup = MirroredTuple("wide", "stream", {"v": (1 << 64) - 1}, 0)
+        assert codec.decode(codec.encode(tup)) == tup
+
+
 class TestRuntimeWireCheck:
     def test_end_to_end_with_wire_check(self, synflood_trace, newly_opened_query):
         """Every mirrored tuple must survive the binary format unchanged."""
