@@ -1,0 +1,167 @@
+"""End-to-end pipeline benchmark with observability on vs. off.
+
+Unlike ``bench_micro`` (component hot paths under pytest-benchmark) this
+is a standalone script: it plans one DDoS query over a synthetic attacked
+backbone, replays the full runtime pipeline (switch -> emitter -> stream
+processor -> refinement) several times with observability disabled and
+again with it enabled, and writes ``BENCH_pipeline.json`` with
+
+- throughput: packets/sec and tuples/sec of the obs-disabled pipeline,
+- the enabled-vs-disabled overhead of the instrumentation, and
+- per-stage latency quantiles taken from the enabled run's trace spans.
+
+CI runs ``bench_pipeline.py --smoke`` and fails the job when the enabled
+overhead exceeds the smoke threshold (10% by default) — the no-op fast
+path is a hard guarantee, not an aspiration.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --smoke
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --out /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.evaluation.workloads import build_workload
+from repro.obs import NULL_OBS, Observability
+from repro.obs.exporters import stage_timings
+from repro.planner import QueryPlanner
+from repro.queries.library import build_query
+from repro.runtime import SonataRuntime
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: (duration_s, pps, reps, warmup) per mode.
+MODES = {
+    "smoke": (9.0, 1_500.0, 5, 1),
+    "full": (18.0, 3_000.0, 7, 2),
+}
+
+
+def _run_once(plan, trace, obs) -> tuple[float, object]:
+    """One full pipeline replay; returns (wall_seconds, RunReport)."""
+    runtime = SonataRuntime(plan, obs=obs)
+    start = time.perf_counter()
+    report = runtime.run(trace)
+    return time.perf_counter() - start, report
+
+
+def run_benchmark(mode: str) -> dict:
+    duration, pps, reps, warmup = MODES[mode]
+    workload = build_workload(["ddos"], duration=duration, pps=pps, seed=7)
+    trace = workload.trace
+    window = 3.0
+
+    query = build_query("ddos", qid=1)
+    planner = QueryPlanner([query], trace, window=window, time_limit=20.0)
+    plan = planner.plan("sonata")
+
+    # Interleave the two configurations: wall time drifts downward over
+    # the first replays (cold caches), so back-to-back blocks would bias
+    # whichever mode runs first.
+    disabled: list[float] = []
+    enabled: list[float] = []
+    report = None
+    last_obs = None
+    for _ in range(warmup):
+        _run_once(plan, trace, NULL_OBS)
+        _run_once(plan, trace, Observability())
+    for _ in range(reps):
+        seconds, report = _run_once(plan, trace, NULL_OBS)
+        disabled.append(seconds)
+        last_obs = Observability()
+        seconds, _ = _run_once(plan, trace, last_obs)
+        enabled.append(seconds)
+
+    # Min-of-reps: both modes do identical deterministic work, so the
+    # fastest replay is the least-noise estimate of the true cost.
+    disabled_s = min(disabled)
+    enabled_s = min(enabled)
+    overhead_pct = (enabled_s - disabled_s) / disabled_s * 100.0
+    packets = sum(w.packets for w in report.windows)
+    tuples = report.total_tuples
+
+    return {
+        "schema": "sonata.bench_pipeline/1",
+        "mode": mode,
+        "workload": {
+            "queries": ["ddos"],
+            "duration_s": duration,
+            "pps": pps,
+            "window_s": window,
+            "packets": packets,
+            "windows": len(report.windows),
+            "tuples_to_sp": tuples,
+        },
+        "timings": {
+            "reps": reps,
+            "disabled_s": [round(s, 6) for s in disabled],
+            "enabled_s": [round(s, 6) for s in enabled],
+            "disabled_best_s": round(disabled_s, 6),
+            "enabled_best_s": round(enabled_s, 6),
+        },
+        "throughput": {
+            "packets_per_s": round(packets / disabled_s, 1),
+            "tuples_per_s": round(tuples / disabled_s, 1),
+        },
+        "obs_overhead_pct": round(overhead_pct, 2),
+        "stages": {
+            name: {k: round(v, 6) for k, v in stats.items()}
+            for name, stats in stage_timings(last_obs).items()
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small workload + fewer reps (the CI configuration)",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_pipeline.json"),
+        help="output JSON path (default: repo-root BENCH_pipeline.json)",
+    )
+    parser.add_argument(
+        "--max-overhead", type=float, default=None, metavar="PCT",
+        help="fail (exit 1) if enabled overhead exceeds PCT percent "
+        "(default: 10 in --smoke mode, unlimited otherwise)",
+    )
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    max_overhead = args.max_overhead
+    if max_overhead is None and args.smoke:
+        max_overhead = 10.0
+
+    result = run_benchmark(mode)
+    out = Path(args.out)
+    out.write_text(json.dumps(result, indent=2) + "\n")
+
+    t = result["throughput"]
+    print(
+        f"[{mode}] {result['workload']['packets']} packets, "
+        f"{result['workload']['windows']} windows: "
+        f"{t['packets_per_s']:.0f} pkts/s, {t['tuples_per_s']:.0f} tuples/s, "
+        f"obs overhead {result['obs_overhead_pct']:+.2f}%"
+    )
+    print(f"wrote {out}")
+
+    if max_overhead is not None and result["obs_overhead_pct"] > max_overhead:
+        print(
+            f"FAIL: observability overhead {result['obs_overhead_pct']:.2f}% "
+            f"exceeds the {max_overhead:.1f}% budget",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

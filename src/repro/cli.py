@@ -14,11 +14,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 
+from repro import __version__
 from repro.packets.stats import summarize
 from repro.packets.trace import Trace
 from repro.utils.iputil import format_ip
+
+logger = logging.getLogger(__name__)
 
 
 def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
@@ -99,7 +103,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
         )
         trace = workload.trace
         for name, victim in workload.victims.items():
-            print(f"planted {name}: victim {format_ip(victim)}")
+            logger.info("planted %s: victim %s", name, format_ip(victim))
     else:
         from repro.packets.generator import BackboneConfig, generate_backbone
 
@@ -155,9 +159,16 @@ def cmd_plan(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from repro.obs import NULL_OBS, Observability, set_observability
     from repro.planner import QueryPlanner
     from repro.queries.library import QUERY_LIBRARY
     from repro.runtime import SonataRuntime
+
+    # Observability is opt-in: any of the three flags turns it on for the
+    # whole process (planner, trace I/O and runtime all record into it).
+    obs_enabled = bool(args.metrics_out or args.trace_out or args.obs)
+    obs = Observability() if obs_enabled else NULL_OBS
+    set_observability(obs)
 
     trace = Trace.load(args.trace)
     names, queries = _load_queries(args.queries, args.window, args.query_file)
@@ -178,7 +189,12 @@ def cmd_run(args: argparse.Namespace) -> int:
             )
         except PlanningError as exc:
             raise SystemExit(f"--faults: {exc}") from None
-    report = SonataRuntime(plan, faults=faults, degradation=degradation).run(trace)
+    try:
+        report = SonataRuntime(
+            plan, faults=faults, degradation=degradation, obs=obs
+        ).run(trace)
+    finally:
+        set_observability(None)
     print("window  packets  tuples->SP  detections")
     for window in report.windows:
         labels = []
@@ -211,6 +227,16 @@ def cmd_run(args: argparse.Namespace) -> int:
         events = [e for w in report.windows for e in w.degradation_events]
         if events:
             print(f"degradation events: {', '.join(events)}")
+    if obs_enabled:
+        from repro.obs.exporters import print_summary, write_metrics, write_trace_jsonl
+
+        if args.metrics_out:
+            write_metrics(report.metrics, args.metrics_out)
+            logger.info("wrote Prometheus snapshot to %s", args.metrics_out)
+        if args.trace_out:
+            written = write_trace_jsonl(obs, args.trace_out)
+            logger.info("wrote %d trace records to %s", written, args.trace_out)
+        print_summary(obs)
     return 0
 
 
@@ -305,7 +331,23 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Sonata reproduction: query-driven streaming telemetry",
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="increase log verbosity (-v INFO, -vv DEBUG); logs go to stderr",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="explicit log level (DEBUG/INFO/WARNING/ERROR); overrides -v",
+    )
+    sub = parser.add_subparsers(dest="command")
 
     sub.add_parser("queries", help="list the query library").set_defaults(
         func=cmd_queries
@@ -349,6 +391,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="register-overflow rate above which an on-switch instance is "
         "degraded to raw-mirror execution (default: disabled)",
     )
+    run.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write an end-of-run metrics snapshot in Prometheus text "
+        "format (enables observability)",
+    )
+    run.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write JSON-lines trace spans/events (enables observability)",
+    )
+    run.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable observability without writing files (prints the "
+        "end-of-run per-stage timing summary)",
+    )
     run.set_defaults(func=cmd_run)
 
     sub.add_parser("loc", help="regenerate the Table 3 LoC comparison").set_defaults(
@@ -367,8 +428,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    from repro.obs.logutil import configure_logging
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "func", None) is None:
+        # No subcommand: usage + exit 2, never a traceback.
+        parser.print_usage(sys.stderr)
+        print("repro: error: a subcommand is required", file=sys.stderr)
+        return 2
+    try:
+        configure_logging(level=args.log_level, verbosity=args.verbose)
+    except ValueError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
     return args.func(args)
 
 

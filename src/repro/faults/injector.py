@@ -21,6 +21,7 @@ import random
 from collections import Counter
 
 from repro.faults.spec import FaultSpec
+from repro.obs import get_observability
 from repro.switch.simulator import MirroredTuple
 from repro.utils.hashing import stable_hash
 
@@ -33,12 +34,16 @@ SWITCH_TIMEOUT = "timeout"
 class FaultInjector:
     """Injects the faults a :class:`FaultSpec` describes, deterministically."""
 
-    def __init__(self, spec: FaultSpec, scope: str = "") -> None:
+    def __init__(self, spec: FaultSpec, scope: str = "", obs=None) -> None:
         self.spec = spec
         self.scope = scope
         self._streams: dict[str, random.Random] = {}
         self._deferred: list[MirroredTuple] = []
         self._counts: Counter = Counter()
+        #: Observability context; the owning runtime overwrites this so
+        #: fault events land in the shared tracer. Never affects the PRNG
+        #: streams — enabling observability cannot change a fault schedule.
+        self.obs = obs if obs is not None else get_observability()
 
     def _rng(self, channel: str) -> random.Random:
         rng = self._streams.get(channel)
@@ -46,6 +51,17 @@ class FaultInjector:
             rng = random.Random(stable_hash((self.scope, channel), seed=self.spec.seed))
             self._streams[channel] = rng
         return rng
+
+    def _note(self, channel: str, **attrs) -> None:
+        """Count one injected fault and emit the structured obs event."""
+        self._counts[channel] += 1
+        obs = self.obs
+        if obs.enabled:
+            obs.counter(
+                "sonata_faults_injected_total",
+                "faults injected, per channel",
+            ).inc(channel=channel, scope=self.scope)
+            obs.event(f"fault.{channel}", scope=self.scope, **attrs)
 
     # -- accounting ---------------------------------------------------------
     def take_window_counts(self) -> dict[str, int]:
@@ -72,19 +88,19 @@ class FaultInjector:
         out: list[MirroredTuple] = []
         for tup in tuples:
             if spec.mirror_drop and rng.random() < spec.mirror_drop:
-                self._counts["mirror_drop"] += 1
+                self._note("mirror_drop", instance=tup.instance, kind=tup.kind)
                 continue
             if (
                 allow_reorder
                 and spec.mirror_reorder
                 and rng.random() < spec.mirror_reorder
             ):
-                self._counts["mirror_reorder"] += 1
+                self._note("mirror_reorder", instance=tup.instance, kind=tup.kind)
                 self._deferred.append(tup)
                 continue
             out.append(tup)
             if spec.mirror_duplicate and rng.random() < spec.mirror_duplicate:
-                self._counts["mirror_duplicate"] += 1
+                self._note("mirror_duplicate", instance=tup.instance, kind=tup.kind)
                 out.append(tup)
         return out
 
@@ -100,7 +116,7 @@ class FaultInjector:
         survivors = []
         for tup in deferred:
             if rng.random() < spec.late_drop:
-                self._counts["late_drop"] += 1
+                self._note("late_drop", instance=tup.instance, kind=tup.kind)
             else:
                 survivors.append(tup)
         return survivors
@@ -111,7 +127,7 @@ class FaultInjector:
         if not self.spec.overflow_pressure:
             return False
         if self._rng("overflow").random() < self.spec.overflow_pressure:
-            self._counts["forced_overflow"] += 1
+            self._note("forced_overflow", instance=instance_key)
             return True
         return False
 
@@ -124,10 +140,10 @@ class FaultInjector:
         rng = self._rng("filter")
         roll = rng.random()
         if roll < spec.filter_update_loss:
-            self._counts["filter_update_loss"] += 1
+            self._note("filter_update_loss")
             return "loss"
         if roll < spec.filter_update_loss + spec.filter_update_delay:
-            self._counts["filter_update_delay"] += 1
+            self._note("filter_update_delay")
             return "delay"
         return "ok"
 
@@ -140,7 +156,7 @@ class FaultInjector:
         """
         spec = self.spec
         if switch_id in spec.switch_down:
-            self._counts["switch_failed"] += 1
+            self._note("switch_failed", switch=switch_id, window=window_index, cause="down")
             return SWITCH_FAILED
         if spec.switch_fail:
             rng = random.Random(
@@ -150,7 +166,7 @@ class FaultInjector:
                 )
             )
             if rng.random() < spec.switch_fail:
-                self._counts["switch_failed"] += 1
+                self._note("switch_failed", switch=switch_id, window=window_index, cause="flap")
                 return SWITCH_FAILED
         if spec.collector_timeout:
             rng = random.Random(
@@ -160,6 +176,6 @@ class FaultInjector:
                 )
             )
             if rng.random() < spec.collector_timeout:
-                self._counts["collector_timeout"] += 1
+                self._note("collector_timeout", switch=switch_id, window=window_index)
                 return SWITCH_TIMEOUT
         return SWITCH_OK

@@ -23,6 +23,7 @@ misses.
 from __future__ import annotations
 
 import copy
+import logging
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -33,8 +34,11 @@ from repro.core.query import Query, SubQuery
 from repro.faults import DegradationPolicy, FaultInjector, FaultSpec
 from repro.faults.injector import SWITCH_FAILED, SWITCH_OK
 from repro.network.topology import Topology
+from repro.obs import MetricsSnapshot, get_observability
 from repro.packets.trace import Trace
 from repro.planner import QueryPlanner
+
+logger = logging.getLogger(__name__)
 from repro.planner.refinement import (
     scale_thresholds,
     trailing_threshold_fields,
@@ -100,6 +104,10 @@ class NetworkWindowReport:
 @dataclass
 class NetworkRunReport:
     windows: list[NetworkWindowReport] = field(default_factory=list)
+    #: Frozen end-of-run metrics covering the collector *and* every
+    #: per-switch pipeline (they share one registry); ``None`` when
+    #: observability is disabled.
+    metrics: "MetricsSnapshot | None" = None
 
     @property
     def degraded_windows(self) -> list[int]:
@@ -137,6 +145,7 @@ class NetworkRuntime:
         time_limit: float = 20.0,
         faults: FaultSpec | None = None,
         degradation: DegradationPolicy | None = None,
+        obs=None,
     ) -> None:
         self.queries = list(queries)
         if not self.queries:
@@ -146,6 +155,21 @@ class NetworkRuntime:
         self.local_threshold_scale = local_threshold_scale
         self.degradation = degradation or DegradationPolicy()
         self.faults = faults
+        #: One shared observability context: every switch runtime records
+        #: into the same registry/tracer (spans carry a per-switch scope).
+        self.obs = obs if obs is not None else get_observability()
+        self._m_collector_tuples = self.obs.counter(
+            "sonata_collector_tuples_total",
+            "partial-aggregate rows merged by the central collector",
+        )
+        self._m_missing = self.obs.counter(
+            "sonata_collector_missing_reports_total",
+            "switch reports that never reached the collector",
+        )
+        self._h_stage = self.obs.histogram(
+            "sonata_stage_seconds",
+            "wall-clock seconds per pipeline stage per window",
+        )
         #: The collector's own fault channels (switch liveness, report
         #: deadlines); per-switch pipeline channels live in each runtime.
         self._collector_faults = (
@@ -182,6 +206,7 @@ class NetworkRuntime:
                     faults=faults,
                     degradation=degradation,
                     fault_scope=f"switch{switch_id}",
+                    obs=self.obs,
                 )
             )
 
@@ -189,16 +214,24 @@ class NetworkRuntime:
     def run(self, trace: Trace) -> NetworkRunReport:
         splits = self.topology.split(trace)
         origin = trace.start_ts
-        per_switch_reports = [
-            runtime.run(split, window=self.window, origin=origin)
-            for runtime, split in zip(self.runtimes, splits)
-        ]
-        report = NetworkRunReport()
-        n_windows = max(len(r.windows) for r in per_switch_reports)
-        for index in range(n_windows):
-            report.windows.append(
-                self._collect(index, per_switch_reports)
-            )
+        with self.obs.span(
+            "run", scope="network", switches=self.topology.n_switches
+        ):
+            per_switch_reports = [
+                runtime.run(split, window=self.window, origin=origin)
+                for runtime, split in zip(self.runtimes, splits)
+            ]
+            report = NetworkRunReport()
+            n_windows = max(len(r.windows) for r in per_switch_reports)
+            for index in range(n_windows):
+                with self.obs.span(
+                    "stage.collector_merge", window=index
+                ) as merge_span:
+                    window = self._collect(index, per_switch_reports)
+                self._h_stage.observe(merge_span.duration, stage="collector_merge")
+                report.windows.append(window)
+        if self.obs.enabled:
+            report.metrics = self.obs.snapshot()
         return report
 
     def _collect(self, index: int, per_switch_reports) -> NetworkWindowReport:
@@ -278,7 +311,26 @@ class NetworkRuntime:
             # Below quorum: the watchdog still closes the window — with no
             # detections — rather than blocking on reports that will never
             # arrive; the gap is visible in missing_switches/degraded.
+            logger.warning(
+                "window %d closed below quorum (%d of %d switches reporting)",
+                index,
+                reporting,
+                n,
+            )
+            self.obs.event(
+                "collector.below_quorum", window=index, reporting=reporting
+            )
             detections = {query.qid: [] for query in self.queries}
+        if missing:
+            logger.info("window %d: missing switch reports from %s", index, missing)
+            self._m_missing.inc(len(missing))
+        self._m_collector_tuples.inc(collector_tuples)
+        for qid, rows in detections.items():
+            if rows:
+                self.obs.counter(
+                    "sonata_network_detections_total",
+                    "network-wide detections after the collector merge",
+                ).inc(len(rows), qid=qid)
         return NetworkWindowReport(
             index=index,
             switch_tuples=switch_tuples,

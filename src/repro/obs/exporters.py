@@ -1,0 +1,201 @@
+"""Exporters: Prometheus text format, JSON-lines traces, console summary.
+
+Three audiences:
+
+- ``prometheus_text`` / ``write_metrics`` — a scrapeable snapshot in the
+  Prometheus exposition format (the de-facto interchange format; a real
+  deployment would serve it from an HTTP endpoint, here it is written at
+  end of run so ``promtool``/node-exporter tooling can ingest it);
+- ``write_trace_jsonl`` — every span and event as one JSON object per
+  line, timestamp-ordered, loadable with ``jq`` or pandas;
+- ``console_summary`` — the end-of-run per-stage timing table a human
+  reads first.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import IO, TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsSnapshot
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(pairs: Iterable[tuple[str, str]]) -> str:
+    rendered = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
+    return "{" + rendered + "}" if rendered else ""
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(snapshot: MetricsSnapshot) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for sample in snapshot.samples:
+        if sample.help:
+            lines.append(f"# HELP {sample.name} {sample.help}")
+        lines.append(f"# TYPE {sample.name} {sample.kind}")
+        if sample.kind in ("counter", "gauge"):
+            for key, value in sorted(sample.values.items()):
+                lines.append(
+                    f"{sample.name}{_format_labels(key)} {_format_value(value)}"
+                )
+        elif sample.kind == "histogram":
+            for key, (counts, total, count) in sorted(sample.values.items()):
+                cumulative = 0
+                for i, bucket_count in enumerate(counts):
+                    cumulative += bucket_count
+                    bound = (
+                        sample.buckets[i] if i < len(sample.buckets) else math.inf
+                    )
+                    labels = _format_labels(
+                        tuple(key) + (("le", _format_value(bound)),)
+                    )
+                    lines.append(f"{sample.name}_bucket{labels} {cumulative}")
+                lines.append(
+                    f"{sample.name}_sum{_format_labels(key)} "
+                    f"{_format_value(total)}"
+                )
+                lines.append(f"{sample.name}_count{_format_labels(key)} {count}")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics(snapshot: MetricsSnapshot, path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(prometheus_text(snapshot))
+
+
+def parse_prometheus_text(text: str) -> dict[str, float]:
+    """Minimal parser for round-trip tests: ``name{labels}`` -> value."""
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        out[name] = math.inf if value == "+Inf" else float(value)
+    return out
+
+
+# -- JSON-lines traces -------------------------------------------------------
+def write_trace_jsonl(obs: "Observability", path: str) -> int:
+    """Write every span and event as one JSON object per line.
+
+    Returns the number of records written. A final ``meta`` record carries
+    the dropped-record count so truncation is never silent.
+    """
+    tracer = obs.tracer
+    records = tracer.records()
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record.as_dict(), default=str) + "\n")
+        if tracer.dropped:
+            fh.write(
+                json.dumps({"type": "meta", "dropped_records": tracer.dropped})
+                + "\n"
+            )
+    return len(records)
+
+
+# -- console summary ---------------------------------------------------------
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}µs"
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def stage_timings(obs: "Observability") -> dict[str, dict[str, float]]:
+    """Exact per-span-name timing stats from the retained spans."""
+    out: dict[str, dict[str, float]] = {}
+    for name, durations in sorted(obs.tracer.durations_by_name().items()):
+        durations = sorted(durations)
+        out[name] = {
+            "count": len(durations),
+            "total_s": sum(durations),
+            "mean_s": sum(durations) / len(durations),
+            "p50_s": _quantile(durations, 0.50),
+            "p90_s": _quantile(durations, 0.90),
+            "p99_s": _quantile(durations, 0.99),
+        }
+    return out
+
+
+def console_summary(obs: "Observability", top_counters: int = 12) -> str:
+    """End-of-run summary: per-stage timings, then headline counters."""
+    lines: list[str] = []
+    timings = stage_timings(obs)
+    if timings:
+        lines.append("-- per-stage timing " + "-" * 43)
+        header = f"{'span':32} {'count':>7} {'total':>9} {'mean':>9} {'p50':>9} {'p90':>9} {'p99':>9}"
+        lines.append(header)
+        for name, stats in timings.items():
+            lines.append(
+                f"{name:32} {int(stats['count']):>7} "
+                f"{_format_seconds(stats['total_s']):>9} "
+                f"{_format_seconds(stats['mean_s']):>9} "
+                f"{_format_seconds(stats['p50_s']):>9} "
+                f"{_format_seconds(stats['p90_s']):>9} "
+                f"{_format_seconds(stats['p99_s']):>9}"
+            )
+    counter_lines: list[str] = []
+    for metric in obs.registry:
+        if isinstance(metric, Counter):
+            total = metric.total()
+            if total:
+                counter_lines.append(f"{metric.name:48} {_format_value(total):>12}")
+        elif isinstance(metric, Gauge):
+            for key in metric.label_sets():
+                labels = dict(key)
+                counter_lines.append(
+                    f"{metric.name + _format_labels(key):48} "
+                    f"{_format_value(metric.value(**labels)):>12}"
+                )
+        elif isinstance(metric, Histogram):
+            count = sum(metric.count(**dict(k)) for k in metric.label_sets())
+            if count:
+                counter_lines.append(f"{metric.name + '_count':48} {count:>12}")
+    if counter_lines:
+        lines.append("-- metrics " + "-" * 52)
+        lines.extend(counter_lines[: top_counters if top_counters > 0 else None])
+        hidden = len(counter_lines) - top_counters
+        if top_counters > 0 and hidden > 0:
+            lines.append(f"... and {hidden} more (use --metrics-out for all)")
+    event_count = len(obs.tracer.events)
+    if event_count:
+        lines.append(f"-- {event_count} events recorded " + "-" * 40)
+        by_name: dict[str, int] = {}
+        for event in obs.tracer.events:
+            by_name[event.name] = by_name.get(event.name, 0) + 1
+        for name, count in sorted(by_name.items()):
+            lines.append(f"{name:48} {count:>12}")
+    return "\n".join(lines)
+
+
+def print_summary(obs: "Observability", file: "IO[str] | None" = None) -> None:
+    text = console_summary(obs)
+    if text:
+        print(text, file=file)

@@ -1,0 +1,61 @@
+"""Logging configuration shared by the CLI, benchmarks and examples.
+
+All ``repro.*`` modules use module-level ``logging.getLogger(__name__)``
+loggers and never configure handlers themselves (library etiquette). The
+CLI calls :func:`configure_logging` exactly once; logs always go to
+*stderr* so machine-readable stdout (``repro plan --json``, trace tables)
+stays clean.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+#: Root logger for the whole package; children inherit its level/handlers.
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+
+def resolve_level(level: "str | int | None", verbosity: int = 0) -> int:
+    """Map ``--log-level`` / repeated ``-v`` flags to a logging level.
+
+    An explicit ``--log-level`` wins; otherwise the default WARNING is
+    lowered one notch per ``-v`` (INFO, then DEBUG).
+    """
+    if isinstance(level, int):
+        return level
+    if level:
+        resolved = logging.getLevelName(str(level).upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        return resolved
+    if verbosity >= 2:
+        return logging.DEBUG
+    if verbosity == 1:
+        return logging.INFO
+    return logging.WARNING
+
+
+def configure_logging(
+    level: "str | int | None" = None,
+    verbosity: int = 0,
+    stream: "IO[str] | None" = None,
+) -> logging.Logger:
+    """Install a stderr handler on the ``repro`` root logger (idempotent)."""
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    logger.setLevel(resolve_level(level, verbosity))
+    stream = stream if stream is not None else sys.stderr
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_cli", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATE_FORMAT))
+    handler._repro_cli = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    # Don't double-log through the (possibly configured) root logger.
+    logger.propagate = False
+    return logger

@@ -1,0 +1,336 @@
+"""Metrics primitives: counters, gauges and log-bucketed histograms.
+
+A :class:`MetricsRegistry` owns a flat namespace of named metrics, each
+optionally labelled (query id, refinement level, switch scope, window
+index, pipeline stage, ...). Labels are free-form keyword arguments; a
+metric keeps one time series per distinct label set, exactly like the
+Prometheus data model the exporter targets.
+
+Design constraints (see DESIGN.md §9):
+
+- zero dependencies — plain dicts and tuples;
+- histograms use *fixed* log-scaled buckets so two runs (or two switches)
+  can be merged bucket-by-bucket and quantile estimates are stable;
+- everything is cheaply snapshottable: :meth:`MetricsRegistry.snapshot`
+  deep-copies the counters so a :class:`MetricsSnapshot` attached to a
+  ``RunReport`` is immutable even if the run continues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.core.errors import ReproError
+
+LabelKey = tuple  # tuple[tuple[str, str], ...] — sorted (name, value) pairs
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    """Canonical, hashable form of a label set (values stringified)."""
+    if not labels:
+        return ()
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def log_buckets(
+    base: float = 1e-6, factor: float = 2.0, count: int = 28
+) -> tuple[float, ...]:
+    """Geometric bucket upper bounds: ``base * factor**i`` for i < count.
+
+    The default spans 1 µs … ~134 s with a factor-2 resolution — wide
+    enough for both per-stage latencies and whole-run durations without
+    per-run tuning (fixed buckets keep runs mergeable).
+    """
+    if base <= 0 or factor <= 1 or count < 1:
+        raise ReproError("log_buckets requires base>0, factor>1, count>=1")
+    return tuple(base * factor**i for i in range(count))
+
+
+#: Shared default for duration histograms (seconds).
+DEFAULT_TIME_BUCKETS = log_buckets()
+#: Shared default for size/count histograms (tuples, entries, bytes).
+DEFAULT_COUNT_BUCKETS = log_buckets(base=1.0, factor=4.0, count=16)
+
+
+class Metric:
+    """Base class: a named family of label-keyed series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+
+    def label_sets(self) -> "list[LabelKey]":  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Monotonically increasing per-label-set totals."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ReproError(f"counter {self.name}: negative increment {amount}")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0)
+
+    def total(self) -> float:
+        """Sum over every label set (e.g. tuples across all queries)."""
+        return sum(self._values.values())
+
+    def label_sets(self) -> "list[LabelKey]":
+        return list(self._values)
+
+
+class Gauge(Metric):
+    """Last-written value per label set (sizes, rates, resource levels)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[_label_key(labels)] = value
+
+    def add(self, amount: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0)
+
+    def label_sets(self) -> "list[LabelKey]":
+        return list(self._values)
+
+
+@dataclass
+class _HistogramSeries:
+    counts: list[int]
+    total: float = 0.0
+    count: int = 0
+
+
+class Histogram(Metric):
+    """Fixed log-scaled buckets + sum/count, per label set.
+
+    ``buckets`` are *upper bounds* in ascending order; one implicit
+    ``+Inf`` bucket catches the tail. Quantiles are estimated by linear
+    interpolation inside the containing bucket (the standard
+    ``histogram_quantile`` scheme), which is accurate to one bucket
+    factor — good enough to compare stages across PRs.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ReproError(f"histogram {self.name}: needs at least one bucket")
+        self._series: dict[LabelKey, _HistogramSeries] = {}
+
+    def _get(self, key: LabelKey) -> _HistogramSeries:
+        series = self._series.get(key)
+        if series is None:
+            series = _HistogramSeries(counts=[0] * (len(self.buckets) + 1))
+            self._series[key] = series
+        return series
+
+    def observe(self, value: float, **labels: Any) -> None:
+        series = self._get(_label_key(labels))
+        series.total += value
+        series.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                series.counts[i] += 1
+                return
+        series.counts[-1] += 1
+
+    # -- reading -----------------------------------------------------------
+    def count(self, **labels: Any) -> int:
+        series = self._series.get(_label_key(labels))
+        return series.count if series else 0
+
+    def sum(self, **labels: Any) -> float:
+        series = self._series.get(_label_key(labels))
+        return series.total if series else 0.0
+
+    def mean(self, **labels: Any) -> float:
+        series = self._series.get(_label_key(labels))
+        if not series or not series.count:
+            return 0.0
+        return series.total / series.count
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Interpolated quantile estimate (0 <= q <= 1)."""
+        if not 0 <= q <= 1:
+            raise ReproError(f"quantile {q} outside [0, 1]")
+        series = self._series.get(_label_key(labels))
+        if not series or not series.count:
+            return 0.0
+        rank = q * series.count
+        cumulative = 0
+        for i, bucket_count in enumerate(series.counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= rank:
+                upper = (
+                    self.buckets[i] if i < len(self.buckets) else self.buckets[-1]
+                )
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                if i >= len(self.buckets):
+                    return upper  # +Inf bucket: clamp to the last bound
+                fraction = (rank - cumulative) / bucket_count
+                return lower + (upper - lower) * fraction
+            cumulative += bucket_count
+        return self.buckets[-1]
+
+    def label_sets(self) -> "list[LabelKey]":
+        return list(self._series)
+
+
+class MetricsRegistry:
+    """Flat get-or-create namespace of metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help=help, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ReproError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> "Metric | None":
+        return self._metrics.get(name)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> "MetricsSnapshot":
+        samples = []
+        for metric in self._metrics.values():
+            if isinstance(metric, (Counter, Gauge)):
+                samples.append(
+                    MetricSample(
+                        name=metric.name,
+                        kind=metric.kind,
+                        help=metric.help,
+                        values=dict(metric._values),
+                    )
+                )
+            elif isinstance(metric, Histogram):
+                samples.append(
+                    MetricSample(
+                        name=metric.name,
+                        kind=metric.kind,
+                        help=metric.help,
+                        values={
+                            key: (tuple(s.counts), s.total, s.count)
+                            for key, s in metric._series.items()
+                        },
+                        buckets=metric.buckets,
+                    )
+                )
+        return MetricsSnapshot(samples=samples)
+
+
+@dataclass
+class MetricSample:
+    """One metric family frozen at snapshot time."""
+
+    name: str
+    kind: str
+    help: str
+    #: counter/gauge: label key -> value;
+    #: histogram: label key -> (bucket counts incl. +Inf, sum, count).
+    values: dict
+    buckets: tuple = ()
+
+
+@dataclass
+class MetricsSnapshot:
+    """Immutable copy of a registry, attachable to run reports."""
+
+    samples: list[MetricSample] = field(default_factory=list)
+
+    def sample(self, name: str) -> "MetricSample | None":
+        for s in self.samples:
+            if s.name == name:
+                return s
+        return None
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Counter/gauge value (0 when absent); histogram: observation count."""
+        s = self.sample(name)
+        if s is None:
+            return 0
+        raw = s.values.get(_label_key(labels))
+        if raw is None:
+            return 0
+        if s.kind == "histogram":
+            return raw[2]
+        return raw
+
+    def total(self, name: str) -> float:
+        """Counter/gauge sum over all label sets."""
+        s = self.sample(name)
+        if s is None:
+            return 0
+        if s.kind == "histogram":
+            return sum(v[2] for v in s.values.values())
+        return sum(s.values.values())
+
+    def as_dict(self) -> dict:
+        """JSON-friendly rendering (used by bench_pipeline.py)."""
+        out: dict[str, Any] = {}
+        for s in self.samples:
+            series: dict[str, Any] = {}
+            for key, raw in s.values.items():
+                label = ",".join(f"{k}={v}" for k, v in key) or "_"
+                if s.kind == "histogram":
+                    counts, total, count = raw
+                    series[label] = {"sum": total, "count": count}
+                else:
+                    series[label] = raw
+            out[s.name] = {"kind": s.kind, "series": series}
+        return out

@@ -228,6 +228,12 @@ class Trace:
     # -- persistence --------------------------------------------------------
     def save(self, path: str) -> None:
         """Serialize to a compact single-file binary format."""
+        from repro.obs import get_observability
+
+        with get_observability().span("trace.save", path=path, packets=len(self)):
+            self._save(path)
+
+    def _save(self, path: str) -> None:
         header = {
             "version": _VERSION,
             "count": len(self.array),
@@ -245,6 +251,15 @@ class Trace:
 
     @staticmethod
     def load(path: str) -> "Trace":
+        from repro.obs import get_observability
+
+        with get_observability().span("trace.load", path=path) as span:
+            trace = Trace._load(path)
+            span.set_attribute("packets", len(trace))
+        return trace
+
+    @staticmethod
+    def _load(path: str) -> "Trace":
         with open(path, "rb") as fh:
             magic = fh.read(len(_MAGIC))
             if magic != _MAGIC:

@@ -9,12 +9,14 @@ when the MILP exceeds its time budget.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Iterable
 
 from repro.core.errors import PlanningError
 from repro.core.query import Query
+from repro.obs import get_observability
 from repro.packets.trace import Trace
 from repro.planner.costs import CostEstimator, QueryCosts, TransitionCosts
 from repro.planner.ilp import PlanILP, _leading_filter_count
@@ -22,6 +24,8 @@ from repro.planner.plans import InstancePlan, Plan, QueryPlan
 from repro.planner.refinement import ROOT_LEVEL, filter_table_name
 from repro.switch.config import SwitchConfig
 from repro.switch.simulator import PISASwitch
+
+logger = logging.getLogger(__name__)
 
 
 class PlanningMode(str, Enum):
@@ -47,10 +51,12 @@ class QueryPlanner:
         max_delay: dict[int, int] | None = None,
         time_limit: float = 60.0,
         refinement_specs: "dict[int, Any] | None" = None,
+        obs=None,
     ) -> None:
         self.queries = list(queries)
         if not self.queries:
             raise PlanningError("no queries to plan")
+        self.obs = obs if obs is not None else get_observability()
         self.config = config or SwitchConfig.paper_default()
         self.trace = training_trace
         self.window = window
@@ -63,15 +69,20 @@ class QueryPlanner:
     # -- cost estimation (shared by all modes) -----------------------------
     def costs(self) -> dict[int, QueryCosts]:
         if self._costs is None:
-            estimator = CostEstimator(
-                self.queries,
-                self.trace,
-                config=self.config,
-                window=self.window,
-                max_levels=self.max_levels,
-                refinement_specs=self.refinement_specs,
-            )
-            self._costs = estimator.estimate()
+            with self.obs.span(
+                "planner.estimate_costs",
+                queries=len(self.queries),
+                packets=len(self.trace),
+            ):
+                estimator = CostEstimator(
+                    self.queries,
+                    self.trace,
+                    config=self.config,
+                    window=self.window,
+                    max_levels=self.max_levels,
+                    refinement_specs=self.refinement_specs,
+                )
+                self._costs = estimator.estimate()
         return self._costs
 
     # -- planning -----------------------------------------------------------
@@ -83,19 +94,43 @@ class QueryPlanner:
     ) -> Plan:
         """Produce a plan; ``solver`` is ``"ilp"`` or ``"greedy"``."""
         mode_value = PlanningMode(mode).value
-        if solver == "ilp":
-            ilp = PlanILP(
-                costs=self.costs(),
-                config=self.config,
-                mode=mode_value,
-                max_delay=self.max_delay,
-                time_limit=self.time_limit,
-            )
-            plan = ilp.solve()
-        elif solver == "greedy":
-            plan = GreedyPlanner(self.costs(), self.config, mode_value, self.max_delay).solve()
-        else:
-            raise PlanningError(f"unknown solver {solver!r}")
+        costs = self.costs()  # outside the solve span: estimation has its own
+        with self.obs.span(
+            "planner.solve", mode=mode_value, solver=solver
+        ) as span:
+            if solver == "ilp":
+                ilp = PlanILP(
+                    costs=costs,
+                    config=self.config,
+                    mode=mode_value,
+                    max_delay=self.max_delay,
+                    time_limit=self.time_limit,
+                )
+                plan = ilp.solve()
+            elif solver == "greedy":
+                plan = GreedyPlanner(costs, self.config, mode_value, self.max_delay).solve()
+            else:
+                raise PlanningError(f"unknown solver {solver!r}")
+            span.set_attribute("est_tuples_per_window", plan.est_total_tuples)
+            if "fallback" in plan.solver_info:
+                logger.info("planner fallback: %s", plan.solver_info["fallback"])
+                self.obs.event(
+                    "planner.fallback", reason=str(plan.solver_info["fallback"])
+                )
+        self.obs.histogram(
+            "sonata_planner_solve_seconds", "wall-clock time of one plan solve"
+        ).observe(span.duration, mode=mode_value, solver=solver)
+        self.obs.gauge(
+            "sonata_plan_est_tuples_per_window",
+            "the solved plan's estimated tuple load per window",
+        ).set(plan.est_total_tuples, mode=mode_value)
+        logger.info(
+            "planned %d queries (mode=%s, solver=%s): est %.0f tuples/window",
+            len(self.queries),
+            mode_value,
+            solver,
+            plan.est_total_tuples,
+        )
         if verify_install:
             self.verify(plan)
         return plan

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.core.operators import Distinct, Reduce
+from repro.obs import get_observability
 from repro.planner.plans import InstancePlan
 from repro.streaming.rowops import Row, apply_operator, apply_operators
 from repro.switch.simulator import MirroredTuple
@@ -42,13 +43,22 @@ class EmitterBatch:
 class Emitter:
     """Per-window buffering, overflow adjustment and tuple accounting."""
 
-    def __init__(self, instances: Mapping[str, InstancePlan]) -> None:
+    def __init__(self, instances: Mapping[str, InstancePlan], obs=None) -> None:
         self._instances = dict(instances)
         self._stream: dict[str, list[Row]] = defaultdict(list)
         self._overflow: dict[str, dict[int, list[Row]]] = defaultdict(
             lambda: defaultdict(list)
         )
         self.total_tuples = 0
+        self.obs = obs if obs is not None else get_observability()
+        self._m_tuples = self.obs.counter(
+            "sonata_emitter_tuples_total",
+            "tuples crossing the emitter, per instance and kind",
+        )
+        self._m_overflow_merges = self.obs.counter(
+            "sonata_emitter_overflow_merges_total",
+            "windows in which an instance needed the collision adjustment",
+        )
 
     def ingest(self, mirrored: list[MirroredTuple]) -> None:
         """Consume per-packet mirrored tuples."""
@@ -82,10 +92,12 @@ class Emitter:
 
             if key in self._overflow and plan is not None:
                 rows = self._merge_overflow(plan, reports, tables)
+                self._m_overflow_merges.inc(instance=key)
             else:
                 rows = [m.fields for m in reports]
             rows = list(self._stream.get(key, [])) + rows
             batches[key] = EmitterBatch(rows=rows, tuples_sent=sent)
+            self._m_tuples.inc(sent, instance=key)
 
         self._stream.clear()
         self._overflow.clear()

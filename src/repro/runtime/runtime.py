@@ -18,11 +18,13 @@ Each window:
 
 from __future__ import annotations
 
+import logging
 from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.analytics import execute_subquery
 from repro.core.errors import PlanningError
+from repro.obs import MetricsSnapshot, get_observability
 from repro.packets.trace import Trace
 from repro.planner.plans import InstancePlan, Plan, QueryPlan
 from repro.planner.refinement import filter_table_name
@@ -30,6 +32,8 @@ from repro.runtime.emitter import Emitter
 from repro.streaming.engine import StreamProcessor
 from repro.streaming.rowops import Row
 from repro.switch.simulator import PISASwitch
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -82,6 +86,8 @@ class RunReport:
     #: windows — the zero totals below mean "nothing ran", not "nothing
     #: was detected over real traffic".
     empty_trace: bool = False
+    #: Frozen end-of-run metrics (``None`` when observability is disabled).
+    metrics: "MetricsSnapshot | None" = None
 
     @property
     def total_tuples(self) -> int:
@@ -142,11 +148,54 @@ class SonataRuntime:
         faults=None,
         degradation=None,
         fault_scope: str = "",
+        obs=None,
     ) -> None:
         self.plan = plan
         self.on_retrain = on_retrain
         self.retrain_overflow_threshold = retrain_overflow_threshold
         self.retrain_signals: list[int] = []  # window indices that fired
+        #: Observability context (``repro.obs``). Defaults to the
+        #: process-wide instance (a no-op unless the CLI or a harness
+        #: installed one with ``set_observability``). Metric handles are
+        #: resolved once here so per-window recording is cheap — and free
+        #: when disabled.
+        self.obs = obs if obs is not None else get_observability()
+        self._scope = fault_scope
+        self._m_packets = self.obs.counter(
+            "sonata_packets_total", "packets through the data plane"
+        )
+        self._m_windows = self.obs.counter(
+            "sonata_windows_total", "windows closed by the runtime"
+        )
+        self._m_tuples = self.obs.counter(
+            "sonata_tuples_to_sp_total",
+            "tuples crossing the switch -> stream processor boundary",
+        )
+        self._m_detections = self.obs.counter(
+            "sonata_detections_total", "finest-level output rows"
+        )
+        self._m_reg_updates = self.obs.counter(
+            "sonata_register_updates_total", "stateful register updates"
+        )
+        self._m_reg_overflows = self.obs.counter(
+            "sonata_register_overflows_total",
+            "register updates that overflowed the whole d-way chain",
+        )
+        self._m_degraded = self.obs.counter(
+            "sonata_degraded_windows_total", "windows served in degraded mode"
+        )
+        self._m_retrain = self.obs.counter(
+            "sonata_retrain_signals_total",
+            "windows whose overflow rate fired the re-training signal",
+        )
+        self._h_stage = self.obs.histogram(
+            "sonata_stage_seconds",
+            "wall-clock seconds per pipeline stage per window",
+        )
+        self._h_filter_update = self.obs.histogram(
+            "sonata_filter_update_seconds",
+            "modelled control-plane latency per filter-table update batch",
+        )
         #: Fault injection (``faults``: a :class:`repro.faults.FaultSpec`)
         #: and the matching degradation policy. ``fault_scope`` namespaces
         #: the injector's PRNG streams (per-switch in network-wide mode).
@@ -175,8 +224,11 @@ class SonataRuntime:
 
             self._wire_codec = WireCodec()
         self.switch = PISASwitch(plan.switch_config)
+        self.switch.obs = self.obs
         self.switch.fault_injector = self.faults
-        self.stream_processor = StreamProcessor()
+        if self.faults is not None:
+            self.faults.obs = self.obs
+        self.stream_processor = StreamProcessor(obs=self.obs)
         self._instances: dict[str, InstancePlan] = {}
         self._raw_mirror: list[InstancePlan] = []  # cut == 0 instances
 
@@ -202,7 +254,7 @@ class SonataRuntime:
             if inst.read_filter_table is not None:
                 self.switch.filter_tables.setdefault(inst.read_filter_table, set())
 
-        self.emitter = Emitter(self._instances)
+        self.emitter = Emitter(self._instances, obs=self.obs)
 
     # -- window execution ---------------------------------------------------
     def run(
@@ -227,112 +279,145 @@ class SonataRuntime:
             # Zero windows: return an explicitly-marked empty report so
             # helpers (first_detection, total_tuples) read as "never ran"
             # rather than as a clean run that detected nothing.
+            logger.warning("run called with an empty trace; nothing executed")
             return RunReport(plan_mode=self.plan.mode, empty_trace=True)
         report = RunReport(plan_mode=self.plan.mode)
-        for index, (start, sub_trace) in enumerate(trace.windows(window, origin=origin)):
-            report.windows.append(
-                self._run_window(index, start, start + window, sub_trace)
-            )
+        with self.obs.span(
+            "run", mode=self.plan.mode, packets=len(trace), scope=self._scope
+        ):
+            for index, (start, sub_trace) in enumerate(
+                trace.windows(window, origin=origin)
+            ):
+                report.windows.append(
+                    self._run_window(index, start, start + window, sub_trace)
+                )
+        if self.obs.enabled:
+            report.metrics = self.obs.snapshot()
         return report
 
     def _run_window(
         self, index: int, start: float, end: float, window_trace: Trace
     ) -> WindowReport:
+        with self.obs.span(
+            "window", index=index, packets=len(window_trace), scope=self._scope
+        ) as window_span:
+            return self._run_window_inner(
+                index, start, end, window_trace, window_span
+            )
+
+    def _run_window_inner(
+        self, index, start, end, window_trace, window_span
+    ) -> WindowReport:
         faults = self.faults
         events: list[str] = []
         update_seconds = 0.0
+        obs = self.obs
 
         # 0. Apply filter-table updates the injector deferred last window.
         if self._pending_filter_updates:
             pending, self._pending_filter_updates = self._pending_filter_updates, []
-            for name, keys in pending:
-                update_seconds += self.switch.update_filter_table(name, keys)
+            with obs.span("filter_update", deferred=True, window=index):
+                for name, keys in pending:
+                    update_seconds += self.switch.update_filter_table(name, keys)
 
         # 1. Data plane.
-        if self.switch.instances:
-            for packet in window_trace.packets():
-                mirrored = self.switch.process_packet(packet)
-                if faults is not None:
-                    mirrored = faults.mirror(mirrored)
+        with obs.span("stage.switch", window=index) as stage_span:
+            if self.switch.instances:
+                for packet in window_trace.packets():
+                    mirrored = self.switch.process_packet(packet)
+                    if faults is not None:
+                        mirrored = faults.mirror(mirrored)
+                    if self._wire_codec is not None:
+                        mirrored = [self._wire_roundtrip(m) for m in mirrored]
+                    self.emitter.ingest(mirrored)
+            if faults is not None:
+                # Watchdog: reordered tuples that still make the window
+                # deadline are delivered out of order; late ones are dropped
+                # and recorded below (``late_drop`` in faults_injected).
+                late = faults.drain_deferred()
                 if self._wire_codec is not None:
-                    mirrored = [self._wire_roundtrip(m) for m in mirrored]
-                self.emitter.ingest(mirrored)
-        if faults is not None:
-            # Watchdog: reordered tuples that still make the window
-            # deadline are delivered out of order; late ones are dropped
-            # and recorded below (``late_drop`` in faults_injected).
-            late = faults.drain_deferred()
+                    late = [self._wire_roundtrip(m) for m in late]
+                self.emitter.ingest(late)
+            key_reports = self.switch.end_window(
+                full_dump=self.emitter.overflow_instances()
+            )
+            if faults is not None:
+                key_reports = {
+                    key: faults.mirror(reports, allow_reorder=False)
+                    for key, reports in key_reports.items()
+                }
             if self._wire_codec is not None:
-                late = [self._wire_roundtrip(m) for m in late]
-            self.emitter.ingest(late)
-        key_reports = self.switch.end_window(
-            full_dump=self.emitter.overflow_instances()
-        )
-        if faults is not None:
-            key_reports = {
-                key: faults.mirror(reports, allow_reorder=False)
-                for key, reports in key_reports.items()
-            }
-        if self._wire_codec is not None:
-            key_reports = {
-                key: [self._wire_roundtrip(m) for m in reports]
-                for key, reports in key_reports.items()
-            }
+                key_reports = {
+                    key: [self._wire_roundtrip(m) for m in reports]
+                    for key, reports in key_reports.items()
+                }
+        self._h_stage.observe(stage_span.duration, stage="switch")
         tables = self.switch.filter_tables
 
         # 2. Emitter.
-        batches = self.emitter.end_window(key_reports, tables)
+        with obs.span("stage.emitter", window=index) as stage_span:
+            batches = self.emitter.end_window(key_reports, tables)
+        self._h_stage.observe(stage_span.duration, stage="emitter")
 
         # 3. Stream processor: per-instance residuals.
-        tuples_to_sp: dict[int, int] = defaultdict(int)
-        tuples_per_instance: dict[str, int] = defaultdict(int)
-        leaf_rows: dict[str, list[Row]] = {}
-        for key, batch in batches.items():
-            tuples_to_sp[self._instances[key].qid] += batch.tuples_sent
-            tuples_per_instance[key] += batch.tuples_sent
-            leaf_rows[key] = self.stream_processor.process(key, batch.rows, tables)
+        with obs.span("stage.stream_processor", window=index) as stage_span:
+            tuples_to_sp: dict[int, int] = defaultdict(int)
+            tuples_per_instance: dict[str, int] = defaultdict(int)
+            leaf_rows: dict[str, list[Row]] = {}
+            for key, batch in batches.items():
+                tuples_to_sp[self._instances[key].qid] += batch.tuples_sent
+                tuples_per_instance[key] += batch.tuples_sent
+                leaf_rows[key] = self.stream_processor.process(
+                    key, batch.rows, tables
+                )
 
-        # Raw-mirrored instances: executed with the vectorized engine; the
-        # full window crosses to the SP once per query that needs it.
-        raw_qids = set()
-        for inst in self._raw_mirror:
-            inst_tables = dict(tables)
-            result = execute_subquery(inst.augmented, window_trace, inst_tables)
-            leaf_rows[inst.key] = result.rows()
-            raw_qids.add(inst.qid)
-            runtime = self.stream_processor.instance(inst.key)
-            runtime.tuples_in += len(window_trace)
-            runtime.tuples_out += len(leaf_rows[inst.key])
-            tuples_per_instance[inst.key] += len(window_trace)
-        for qid in raw_qids:
-            tuples_to_sp[qid] += len(window_trace)
+            # Raw-mirrored instances: executed with the vectorized engine;
+            # the full window crosses to the SP once per query needing it.
+            raw_qids = set()
+            for inst in self._raw_mirror:
+                inst_tables = dict(tables)
+                result = execute_subquery(inst.augmented, window_trace, inst_tables)
+                leaf_rows[inst.key] = result.rows()
+                raw_qids.add(inst.qid)
+                runtime = self.stream_processor.instance(inst.key)
+                runtime.tuples_in += len(window_trace)
+                runtime.tuples_out += len(leaf_rows[inst.key])
+                self.stream_processor.record_raw_mirror(
+                    inst.key, len(window_trace), len(leaf_rows[inst.key])
+                )
+                tuples_per_instance[inst.key] += len(window_trace)
+            for qid in raw_qids:
+                tuples_to_sp[qid] += len(window_trace)
+        self._h_stage.observe(stage_span.duration, stage="stream_processor")
 
         # 4. Join assembly per refinement transition + filter updates.
-        detections: dict[int, list[Row]] = {}
-        level_outputs: dict[tuple[int, int], list[Row]] = {}
-        sub_outputs: dict[tuple[int, int, int], list[Row]] = {}
-        for qid, qplan in self.plan.query_plans.items():
-            finest = qplan.path[-1] if qplan.path else None
-            for r_prev, r_level in qplan.transitions():
-                for inst in qplan.instances_for(r_prev, r_level):
-                    sub_outputs[(qid, r_level, inst.subid)] = leaf_rows.get(
-                        inst.key, []
+        with obs.span("stage.refine", window=index) as stage_span:
+            detections: dict[int, list[Row]] = {}
+            level_outputs: dict[tuple[int, int], list[Row]] = {}
+            sub_outputs: dict[tuple[int, int, int], list[Row]] = {}
+            for qid, qplan in self.plan.query_plans.items():
+                finest = qplan.path[-1] if qplan.path else None
+                for r_prev, r_level in qplan.transitions():
+                    for inst in qplan.instances_for(r_prev, r_level):
+                        sub_outputs[(qid, r_level, inst.subid)] = leaf_rows.get(
+                            inst.key, []
+                        )
+                    output = self._transition_output(
+                        qplan, r_prev, r_level, leaf_rows, tables
                     )
-                output = self._transition_output(
-                    qplan, r_prev, r_level, leaf_rows, tables
-                )
-                level_outputs[(qid, r_level)] = output
-                if r_level == finest:
-                    detections[qid] = output
-                elif qplan.spec is not None:
-                    keys = {
-                        row[qplan.spec.key_field]
-                        for row in output
-                        if qplan.spec.key_field in row
-                    }
-                    update_seconds += self._update_filter_table(
-                        filter_table_name(qid, r_level), keys, events
-                    )
+                    level_outputs[(qid, r_level)] = output
+                    if r_level == finest:
+                        detections[qid] = output
+                    elif qplan.spec is not None:
+                        keys = {
+                            row[qplan.spec.key_field]
+                            for row in output
+                            if qplan.spec.key_field in row
+                        }
+                        update_seconds += self._update_filter_table(
+                            filter_table_name(qid, r_level), keys, events
+                        )
+        self._h_stage.observe(stage_span.duration, stage="refine")
 
         faults_injected = faults.take_window_counts() if faults is not None else {}
         late_tuples = faults_injected.get("late_drop", 0)
@@ -359,6 +444,13 @@ class SonataRuntime:
             for key in report.overflow_stats
         ):
             self.retrain_signals.append(index)
+            logger.info(
+                "window %d: register-overflow rate over %.3f, retrain signal",
+                index,
+                self.retrain_overflow_threshold,
+            )
+            self._m_retrain.inc()
+            obs.event("runtime.retrain_signal", window=index)
             if self.on_retrain is not None:
                 self.on_retrain(report)
 
@@ -371,7 +463,36 @@ class SonataRuntime:
                 if report.overflow_rate(key) > threshold:
                     self._fall_back_instance(key)
                     events.append(f"fallback:{key}")
+                    logger.warning(
+                        "window %d: instance %s fell back to raw-mirror "
+                        "(overflow rate %.3f)",
+                        index,
+                        key,
+                        report.overflow_rate(key),
+                    )
+                    obs.event("runtime.fallback", window=index, instance=key)
         report.degraded = bool(events) or bool(self.fallen_back)
+
+        # Window-close metrics (authoritative per-window numbers, so the
+        # exported counters agree with the WindowReport by construction).
+        self._m_packets.inc(report.packets)
+        self._m_windows.inc()
+        for qid, count in report.tuples_to_sp.items():
+            self._m_tuples.inc(count, qid=qid)
+        for qid, rows in report.detections.items():
+            if rows:
+                self._m_detections.inc(len(rows), qid=qid)
+        for key, (updates, overflows) in report.overflow_stats.items():
+            if updates:
+                self._m_reg_updates.inc(updates, instance=key)
+            if overflows:
+                self._m_reg_overflows.inc(overflows, instance=key)
+        if update_seconds:
+            self._h_filter_update.observe(update_seconds)
+        if report.degraded:
+            self._m_degraded.inc()
+        window_span.set_attribute("tuples_to_sp", report.total_tuples)
+        window_span.set_attribute("degraded", report.degraded)
         return report
 
     def _fall_back_instance(self, key: str) -> None:
@@ -391,21 +512,28 @@ class SonataRuntime:
         the window closes on time with the stale table and the event is
         recorded — refinement lags rather than the pipeline stalling.
         """
-        if self.faults is None:
-            return self.switch.update_filter_table(name, keys)
-        policy = self.degradation
-        seconds = 0.0
-        for attempt in range(policy.filter_update_retries + 1):
-            outcome = self.faults.filter_update_outcome()
-            if outcome == "ok":
-                return seconds + self.switch.update_filter_table(name, keys)
-            if outcome == "delay":
-                self._pending_filter_updates.append((name, set(keys)))
-                events.append(f"filter_update_delayed:{name}")
-                return seconds
-            seconds += policy.retry_backoff_seconds * (2 ** attempt)
-        events.append(f"filter_update_lost:{name}")
-        return seconds
+        with self.obs.span("filter_update", table=name, keys=len(keys)):
+            if self.faults is None:
+                return self.switch.update_filter_table(name, keys)
+            policy = self.degradation
+            seconds = 0.0
+            for attempt in range(policy.filter_update_retries + 1):
+                outcome = self.faults.filter_update_outcome()
+                if outcome == "ok":
+                    return seconds + self.switch.update_filter_table(name, keys)
+                if outcome == "delay":
+                    self._pending_filter_updates.append((name, set(keys)))
+                    events.append(f"filter_update_delayed:{name}")
+                    logger.info("filter-table update for %s deferred a window", name)
+                    return seconds
+                seconds += policy.retry_backoff_seconds * (2 ** attempt)
+            events.append(f"filter_update_lost:{name}")
+            logger.warning(
+                "filter-table update for %s lost after %d retries",
+                name,
+                policy.filter_update_retries,
+            )
+            return seconds
 
     def _wire_roundtrip(self, mirrored):
         """Encode + decode a tuple via the wire format; must be lossless."""

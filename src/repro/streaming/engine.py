@@ -15,6 +15,7 @@ from typing import Mapping, Sequence
 from repro.core.errors import PlanningError
 from repro.core.operators import Operator
 from repro.core.query import JoinNode, Query
+from repro.obs import get_observability
 from repro.streaming.rowops import Row, apply_operators, assemble_join_tree
 
 
@@ -39,9 +40,21 @@ class SubQueryRuntime:
 class StreamProcessor:
     """Executes residual operators and joins for all registered instances."""
 
-    def __init__(self) -> None:
+    def __init__(self, obs=None) -> None:
         self._instances: dict[str, SubQueryRuntime] = {}
         self.total_tuples_received = 0
+        #: Observability context; the in/out counters below are kept in
+        #: lockstep with :meth:`load_report` (asserted by
+        #: ``tests/integration/test_observability.py``).
+        self.obs = obs if obs is not None else get_observability()
+        self._m_in = self.obs.counter(
+            "sonata_sp_tuples_in_total",
+            "tuples entering a stream-processor instance",
+        )
+        self._m_out = self.obs.counter(
+            "sonata_sp_tuples_out_total",
+            "rows leaving a stream-processor instance's residual chain",
+        )
 
     # -- registration ----------------------------------------------------
     def register(self, key: str, residual_ops: Sequence[Operator]) -> SubQueryRuntime:
@@ -66,7 +79,17 @@ class StreamProcessor:
     ) -> list[Row]:
         """Run one instance's residual chain over a delivered batch."""
         self.total_tuples_received += len(rows)
-        return self.instance(key).process(rows, tables)
+        out = self.instance(key).process(rows, tables)
+        self._m_in.inc(len(rows), instance=key)
+        self._m_out.inc(len(out), instance=key)
+        return out
+
+    def record_raw_mirror(self, key: str, tuples_in: int, tuples_out: int) -> None:
+        """Mirror raw-fallback accounting (done by the runtime directly on
+        the :class:`SubQueryRuntime`) into the obs counters, keeping them
+        equal to :meth:`load_report` totals."""
+        self._m_in.inc(tuples_in, instance=key)
+        self._m_out.inc(tuples_out, instance=key)
 
     def execute_join_tree(
         self,

@@ -20,10 +20,14 @@ Reporting semantics (faithful to §3.1.3):
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
 from repro.core.errors import ResourceExhaustedError
+from repro.obs import get_observability
+
+logger = logging.getLogger(__name__)
 from repro.core.operators import Distinct, Filter, Map, Operator, Reduce
 from repro.packets.packet import Packet
 from repro.switch.compiler import CompiledSubQuery
@@ -115,6 +119,11 @@ class PISASwitch:
         #: ``force_overflow`` channel can overflow register updates to
         #: model key populations above the training-data sizing.
         self.fault_injector = None
+        #: Observability context; the runtime overwrites this with its own
+        #: so all components of one pipeline share a registry/tracer. The
+        #: per-packet path is deliberately uninstrumented — switch metrics
+        #: are recorded at window/control-plane granularity.
+        self.obs = get_observability()
 
     # ------------------------------------------------------------------
     # Installation and resource verification
@@ -175,6 +184,8 @@ class PISASwitch:
             stage_of=dict(stage_assignment),
         )
         self.instances[key] = instance
+        logger.debug("installed %s (cut=%d, %d tables)", key, n_operators, len(tables))
+        self.obs.event("switch.install", instance=key, cut=n_operators)
         for table in tables:
             if table.dynamic_table is not None:
                 self.filter_tables.setdefault(table.dynamic_table, set())
@@ -198,7 +209,9 @@ class PISASwitch:
         return fields
 
     def uninstall(self, key: str) -> None:
-        self.instances.pop(key, None)
+        if self.instances.pop(key, None) is not None:
+            logger.debug("uninstalled %s", key)
+            self.obs.event("switch.uninstall", instance=key)
         # Recompute the parser program from the remaining instances.
         self.parser = ParserConfig()
         self.parser.require(self._header_fields_in_use())
@@ -325,9 +338,24 @@ class PISASwitch:
         if len(entries) > capacity:
             entries = set(sorted(entries, key=repr)[:capacity])
             self.filter_table_truncations += 1
+            logger.warning(
+                "filter table %s truncated to capacity %d", name, capacity
+            )
+            self.obs.counter(
+                "sonata_filter_table_truncations_total",
+                "refinement updates clipped at the hardware table capacity",
+            ).inc(table=name)
         self.filter_tables[name] = entries
         cost = self.config.update_cost_seconds(len(entries), reset_registers=False)
         self.control_plane_seconds += cost
+        self.obs.counter(
+            "sonata_filter_table_updates_total",
+            "dynamic filter-table replacements applied by the control plane",
+        ).inc(table=name)
+        self.obs.gauge(
+            "sonata_filter_table_entries",
+            "current entry count per dynamic filter table",
+        ).set(len(entries), table=name)
         return cost
 
     # ------------------------------------------------------------------
@@ -536,6 +564,11 @@ class PISASwitch:
             inst.tuples_mirrored += len(out)
             self.tuples_mirrored += len(out)
             reports[inst.key] = out
+            if out:
+                self.obs.counter(
+                    "sonata_key_reports_total",
+                    "per-key register reports read at window end",
+                ).inc(len(out), instance=inst.key)
             updates = overflows = 0
             for chain in inst.chains.values():
                 window_updates, window_overflows = chain.take_window_stats()

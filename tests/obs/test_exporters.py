@@ -1,0 +1,118 @@
+"""Unit tests for the exporters (repro.obs.exporters)."""
+
+import json
+import math
+
+from repro.obs import Observability
+from repro.obs.exporters import (
+    console_summary,
+    parse_prometheus_text,
+    prometheus_text,
+    stage_timings,
+    write_metrics,
+    write_trace_jsonl,
+)
+
+
+def _sample_obs() -> Observability:
+    obs = Observability()
+    obs.counter("sonata_packets_total", "packets").inc(100)
+    obs.counter("sonata_tuples_to_sp_total", "tuples").inc(7, qid=1)
+    obs.gauge("sonata_filter_table_entries", "entries").set(42, table="q1")
+    obs.histogram("sonata_stage_seconds", "stage time", buckets=[0.1, 1.0]).observe(
+        0.05, stage="switch"
+    )
+    with obs.span("stage.switch"):
+        pass
+    obs.event("fault.mirror_drop", instance="q1/32/0")
+    return obs
+
+
+class TestPrometheusText:
+    def test_counter_gauge_histogram_render(self):
+        text = prometheus_text(_sample_obs().snapshot())
+        assert "# TYPE sonata_packets_total counter" in text
+        assert "sonata_packets_total 100" in text
+        assert 'sonata_tuples_to_sp_total{qid="1"} 7' in text
+        assert "# TYPE sonata_filter_table_entries gauge" in text
+        assert 'sonata_filter_table_entries{table="q1"} 42' in text
+        # histogram: cumulative buckets + +Inf + sum/count
+        assert 'sonata_stage_seconds_bucket{stage="switch",le="0.1"} 1' in text
+        assert 'sonata_stage_seconds_bucket{stage="switch",le="+Inf"} 1' in text
+        assert 'sonata_stage_seconds_count{stage="switch"} 1' in text
+
+    def test_buckets_are_cumulative(self):
+        obs = Observability()
+        h = obs.histogram("h", buckets=[1.0, 2.0])
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(9.0)
+        values = parse_prometheus_text(prometheus_text(obs.snapshot()))
+        assert values['h_bucket{le="1"}'] == 1
+        assert values['h_bucket{le="2"}'] == 2
+        assert values['h_bucket{le="+Inf"}'] == 3
+        assert values["h_count"] == 3
+
+    def test_label_values_are_escaped(self):
+        obs = Observability()
+        obs.counter("c").inc(name='we"ird\\')
+        text = prometheus_text(obs.snapshot())
+        assert 'c{name="we\\"ird\\\\"} 1' in text
+
+    def test_write_and_parse_roundtrip(self, tmp_path):
+        obs = _sample_obs()
+        path = tmp_path / "m.prom"
+        write_metrics(obs.snapshot(), str(path))
+        values = parse_prometheus_text(path.read_text())
+        assert values["sonata_packets_total"] == 100
+        assert values['sonata_tuples_to_sp_total{qid="1"}'] == 7
+        assert math.isfinite(values["sonata_stage_seconds_sum"] if "sonata_stage_seconds_sum" in values else 0.0)
+
+
+class TestTraceJsonl:
+    def test_spans_and_events_one_object_per_line(self, tmp_path):
+        obs = _sample_obs()
+        path = tmp_path / "t.jsonl"
+        written = write_trace_jsonl(obs, str(path))
+        lines = path.read_text().splitlines()
+        assert written == len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        types = {r["type"] for r in records}
+        assert types == {"span", "event"}
+        span = next(r for r in records if r["type"] == "span")
+        assert span["name"] == "stage.switch"
+        assert span["duration_s"] >= 0
+
+    def test_dropped_records_emit_meta_line(self, tmp_path):
+        obs = Observability()
+        obs.tracer.max_records = 1
+        with obs.span("kept"):
+            pass
+        with obs.span("dropped"):
+            pass
+        path = tmp_path / "t.jsonl"
+        write_trace_jsonl(obs, str(path))
+        last = json.loads(path.read_text().splitlines()[-1])
+        assert last == {"type": "meta", "dropped_records": 1}
+
+
+class TestConsoleSummary:
+    def test_summary_sections(self):
+        text = console_summary(_sample_obs())
+        assert "per-stage timing" in text
+        assert "stage.switch" in text
+        assert "sonata_packets_total" in text
+        assert "fault.mirror_drop" in text
+
+    def test_empty_obs_renders_nothing(self):
+        assert console_summary(Observability()) == ""
+
+    def test_stage_timings_stats(self):
+        obs = Observability()
+        for _ in range(4):
+            with obs.span("w"):
+                pass
+        stats = stage_timings(obs)["w"]
+        assert stats["count"] == 4
+        assert stats["total_s"] >= stats["mean_s"] >= 0
+        assert stats["p50_s"] <= stats["p99_s"] or stats["p99_s"] >= 0

@@ -1,0 +1,145 @@
+"""Unit tests for the metrics primitives (repro.obs.metrics)."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    MetricsRegistry,
+    log_buckets,
+)
+
+
+class TestLogBuckets:
+    def test_default_geometry(self):
+        buckets = log_buckets()
+        assert buckets == DEFAULT_TIME_BUCKETS
+        assert len(buckets) == 28
+        assert buckets[0] == pytest.approx(1e-6)
+        for lo, hi in zip(buckets, buckets[1:]):
+            assert hi == pytest.approx(lo * 2)
+
+    def test_count_buckets_start_at_one(self):
+        assert DEFAULT_COUNT_BUCKETS[0] == 1.0
+        assert DEFAULT_COUNT_BUCKETS[1] == 4.0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ReproError):
+            log_buckets(base=0)
+        with pytest.raises(ReproError):
+            log_buckets(factor=1.0)
+        with pytest.raises(ReproError):
+            log_buckets(count=0)
+
+
+class TestCounter:
+    def test_unlabelled(self):
+        c = MetricsRegistry().counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+        assert c.total() == 5
+
+    def test_labelled_series_are_independent(self):
+        c = MetricsRegistry().counter("c")
+        c.inc(qid=1)
+        c.inc(3, qid=2)
+        assert c.value(qid=1) == 1
+        assert c.value(qid=2) == 3
+        assert c.value(qid=3) == 0
+        assert c.total() == 4
+
+    def test_label_order_is_canonical(self):
+        c = MetricsRegistry().counter("c")
+        c.inc(a=1, b=2)
+        c.inc(b=2, a=1)
+        assert c.value(a=1, b=2) == 2
+        assert len(c.label_sets()) == 1
+
+    def test_rejects_negative_increment(self):
+        c = MetricsRegistry().counter("c")
+        with pytest.raises(ReproError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(7, table="t")
+        g.add(-2, table="t")
+        assert g.value(table="t") == 5
+
+
+class TestHistogram:
+    def test_observe_and_stats(self):
+        h = MetricsRegistry().histogram("h", buckets=[1.0, 2.0, 4.0])
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.sum() == pytest.approx(105.0)
+        assert h.mean() == pytest.approx(105.0 / 4)
+
+    def test_quantile_interpolates_within_bucket(self):
+        h = MetricsRegistry().histogram("h", buckets=[1.0, 2.0, 4.0])
+        for _ in range(10):
+            h.observe(1.5)  # all in the (1, 2] bucket
+        q = h.quantile(0.5)
+        assert 1.0 <= q <= 2.0
+
+    def test_quantile_overflow_clamps_to_last_bound(self):
+        h = MetricsRegistry().histogram("h", buckets=[1.0, 2.0])
+        h.observe(50.0)
+        assert h.quantile(0.99) == 2.0
+
+    def test_quantile_out_of_range(self):
+        h = MetricsRegistry().histogram("h", buckets=[1.0])
+        with pytest.raises(ReproError):
+            h.quantile(1.5)
+
+    def test_empty_reads_are_zero(self):
+        h = MetricsRegistry().histogram("h", buckets=[1.0])
+        assert h.count() == 0
+        assert h.mean() == 0.0
+        assert h.quantile(0.9) == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ReproError):
+            reg.gauge("x")
+
+    def test_snapshot_is_frozen(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c", "help text")
+        h = reg.histogram("h", buckets=[1.0, 2.0])
+        c.inc(3, qid=1)
+        h.observe(0.5)
+        snap = reg.snapshot()
+        c.inc(10, qid=1)
+        h.observe(0.5)
+        assert snap.value("c", qid=1) == 3
+        assert snap.value("h") == 1  # histogram: observation count
+        assert snap.sample("c").help == "help text"
+        assert snap.sample("missing") is None
+        assert snap.value("missing") == 0
+        assert snap.total("missing") == 0
+
+    def test_snapshot_totals_and_as_dict(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2, qid=1)
+        reg.counter("c").inc(3, qid=2)
+        reg.histogram("h", buckets=[1.0]).observe(0.5, stage="a")
+        snap = reg.snapshot()
+        assert snap.total("c") == 5
+        assert snap.total("h") == 1
+        d = snap.as_dict()
+        assert d["c"]["kind"] == "counter"
+        assert d["c"]["series"]["qid=1"] == 2
+        assert d["h"]["series"]["stage=a"]["count"] == 1

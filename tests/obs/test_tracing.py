@@ -1,0 +1,101 @@
+"""Unit tests for hierarchical spans and events (repro.obs.tracing)."""
+
+import pytest
+
+from repro.obs import NULL_OBS, Observability, get_observability, set_observability
+from repro.obs.tracing import Tracer
+
+
+class TestSpans:
+    def test_span_records_duration_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("work", qid=1) as span:
+            span.set_attribute("extra", "yes")
+        assert span.duration >= 0.0
+        (record,) = tracer.spans
+        assert record.name == "work"
+        assert record.attrs == {"qid": 1, "extra": "yes"}
+        assert record.duration == span.duration
+        assert record.parent_id is None
+
+    def test_nesting_sets_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        inner_rec = tracer.spans_named("inner")[0]
+        outer_rec = tracer.spans_named("outer")[0]
+        assert inner_rec.parent_id == outer_rec.span_id
+        assert tracer.children_of(outer_rec.span_id) == [inner_rec]
+        assert outer.duration >= inner_rec.duration
+
+    def test_exception_marks_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        (record,) = tracer.spans
+        assert record.attrs["error"] == "ValueError"
+
+    def test_events_attach_to_innermost_open_span(self):
+        tracer = Tracer()
+        tracer.event("orphan")
+        with tracer.span("outer"):
+            tracer.event("fault.mirror_drop", instance="q1/32/0")
+        assert tracer.events_named("orphan")[0].span_id is None
+        attached = tracer.events_named("fault.mirror_drop")[0]
+        assert attached.span_id == tracer.spans_named("outer")[0].span_id
+        assert attached.attrs == {"instance": "q1/32/0"}
+
+    def test_records_merge_in_timestamp_order(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            tracer.event("e")
+        records = tracer.records()
+        timestamps = [r.ts for r in records]
+        assert timestamps == sorted(timestamps)
+
+    def test_max_records_cap_counts_drops(self):
+        tracer = Tracer(max_records=2)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+
+    def test_durations_by_name_groups(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("stage.switch"):
+                pass
+        with tracer.span("stage.emitter"):
+            pass
+        grouped = tracer.durations_by_name()
+        assert len(grouped["stage.switch"]) == 3
+        assert len(grouped["stage.emitter"]) == 1
+
+
+class TestNullObservability:
+    def test_null_handles_are_shared_noops(self):
+        obs = NULL_OBS
+        assert obs.enabled is False
+        assert obs.counter("a") is obs.counter("b")
+        assert obs.span("x") is obs.span("y")
+        obs.counter("a").inc(5, qid=1)
+        obs.histogram("h").observe(1.0)
+        with obs.span("x") as span:
+            span.set_attribute("k", "v")
+            span.event("e")
+        assert span.duration == 0.0
+        assert obs.counter("a").value(qid=1) == 0
+        assert obs.snapshot().samples == []
+
+    def test_global_hook_roundtrip(self):
+        assert get_observability() is NULL_OBS
+        obs = Observability()
+        try:
+            assert set_observability(obs) is obs
+            assert get_observability() is obs
+        finally:
+            set_observability(None)
+        assert get_observability() is NULL_OBS

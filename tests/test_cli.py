@@ -150,3 +150,89 @@ class TestQueryFile:
         main(["generate", "--out", trace_path, "--duration", "2", "--pps", "300"])
         with pytest.raises(SystemExit):
             main(["plan", "--trace", trace_path, "--time-limit", "5"])
+
+
+class TestTopLevelFlags:
+    def test_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_no_subcommand_exits_2(self, capsys):
+        assert main([]) == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err and "subcommand is required" in err
+
+    def test_bad_log_level_exits_2(self, capsys):
+        assert main(["--log-level", "nope", "queries"]) == 2
+        assert "log level" in capsys.readouterr().err
+
+    def test_logs_go_to_stderr_json_stdout_stays_clean(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.trace")
+        main(
+            ["generate", "--out", trace_path, "-q", "ddos",
+             "--duration", "3", "--pps", "500"]
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                ["-v", "plan", "--trace", trace_path, "-q", "ddos",
+                 "--json", "--time-limit", "10"]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # stdout is pure JSON
+
+
+class TestRunObservability:
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("obs") / "wl.trace")
+        main(
+            ["generate", "--out", path, "-q", "ddos",
+             "--duration", "6", "--pps", "800"]
+        )
+        return path
+
+    def test_run_writes_parseable_exports(self, trace_path, tmp_path, capsys):
+        from repro.obs.exporters import parse_prometheus_text
+
+        metrics_path = tmp_path / "m.prom"
+        trace_out = tmp_path / "t.jsonl"
+        assert (
+            main(
+                ["run", "--trace", trace_path, "-q", "ddos",
+                 "--time-limit", "10",
+                 "--metrics-out", str(metrics_path),
+                 "--trace-out", str(trace_out)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "per-stage timing" in out  # console summary rendered
+
+        values = parse_prometheus_text(metrics_path.read_text())
+        assert values["sonata_windows_total"] > 0
+        assert values["sonata_packets_total"] > 0
+
+        names = set()
+        for line in trace_out.read_text().splitlines():
+            record = json.loads(line)
+            assert record["type"] in ("span", "event", "meta")
+            names.add(record.get("name"))
+        # the spans cover every pipeline stage
+        assert {"run", "window", "stage.switch", "stage.emitter",
+                "stage.stream_processor", "stage.refine",
+                "planner.solve", "trace.load"} <= names
+
+    def test_run_without_flags_has_no_summary(self, trace_path, capsys):
+        assert (
+            main(["run", "--trace", trace_path, "-q", "ddos",
+                  "--time-limit", "10"])
+            == 0
+        )
+        assert "per-stage timing" not in capsys.readouterr().out
