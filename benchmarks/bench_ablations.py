@@ -19,7 +19,6 @@ import pytest
 from benchmarks.conftest import format_table, write_result
 from repro.evaluation.workloads import build_workload
 from repro.network import NetworkRuntime, Topology
-from repro.packets import Trace, attacks
 from repro.planner import QueryPlanner
 from repro.planner.costs import CostEstimator
 from repro.planner.ilp import PlanILP

@@ -11,7 +11,6 @@ and Fix-REF.
 import pytest
 
 from benchmarks.conftest import format_table, write_result
-from repro.packets import Trace, attacks
 from repro.planner.costs import CostEstimator
 from repro.planner.ilp import PlanILP
 from repro.planner.refinement import ROOT_LEVEL, RefinementSpec

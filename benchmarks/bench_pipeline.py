@@ -1,23 +1,31 @@
-"""End-to-end pipeline benchmark with observability on vs. off.
+"""End-to-end pipeline benchmark: engines, observability and CI gates.
 
 Unlike ``bench_micro`` (component hot paths under pytest-benchmark) this
-is a standalone script: it plans one DDoS query over a synthetic attacked
-backbone, replays the full runtime pipeline (switch -> emitter -> stream
-processor -> refinement) several times with observability disabled and
-again with it enabled, and writes ``BENCH_pipeline.json`` with
+is a standalone script: it plans a multi-query workload over a synthetic
+attacked backbone, replays the full runtime pipeline (switch -> emitter ->
+stream processor -> refinement) several times with observability disabled
+and again with it enabled, and writes ``BENCH_pipeline.json`` with
 
 - throughput: packets/sec and tuples/sec of the obs-disabled pipeline,
-- the enabled-vs-disabled overhead of the instrumentation, and
-- per-stage latency quantiles taken from the enabled run's trace spans.
+- the enabled-vs-disabled overhead of the instrumentation,
+- per-stage latency quantiles taken from the enabled run's trace spans,
+- with ``--engine both``: a batched-vs-rowwise comparison including the
+  switch-stage speedup of the vectorized window engine.
 
-CI runs ``bench_pipeline.py --smoke`` and fails the job when the enabled
-overhead exceeds the smoke threshold (10% by default) — the no-op fast
-path is a hard guarantee, not an aspiration.
+CI runs ``bench_pipeline.py --smoke --engine both --check-baseline`` and
+fails the job when
+
+- the enabled-observability overhead exceeds the smoke threshold
+  (10% by default), or
+- obs-disabled throughput regresses more than 20% below the committed
+  ``BENCH_pipeline.json`` baseline.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_pipeline.py --smoke
-    PYTHONPATH=src python benchmarks/bench_pipeline.py --out /tmp/b.json
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --engine both
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --smoke \\
+        --check-baseline BENCH_pipeline.json --out /tmp/b.json
 """
 
 from __future__ import annotations
@@ -32,10 +40,15 @@ from repro.evaluation.workloads import build_workload
 from repro.obs import NULL_OBS, Observability
 from repro.obs.exporters import stage_timings
 from repro.planner import QueryPlanner
-from repro.queries.library import build_query
+from repro.queries.library import build_queries
 from repro.runtime import SonataRuntime
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Multi-query smoke workload: one register-heavy query (ddos), one with a
+#: distinct->reduce chain (newly_opened_tcp_conns) and one superspreader —
+#: together they exercise every stateful kernel in the batched engine.
+QUERIES = ["ddos", "newly_opened_tcp_conns", "superspreader"]
 
 #: (duration_s, pps, reps, warmup) per mode.
 MODES = {
@@ -43,25 +56,21 @@ MODES = {
     "full": (18.0, 3_000.0, 7, 2),
 }
 
+#: Throughput-regression gate: fail when obs-disabled packets/s drops more
+#: than this fraction below the committed baseline.
+BASELINE_DROP_LIMIT = 0.20
 
-def _run_once(plan, trace, obs) -> tuple[float, object]:
+
+def _run_once(plan, trace, obs, engine: str) -> tuple[float, object]:
     """One full pipeline replay; returns (wall_seconds, RunReport)."""
-    runtime = SonataRuntime(plan, obs=obs)
+    runtime = SonataRuntime(plan, obs=obs, engine=engine)
     start = time.perf_counter()
     report = runtime.run(trace)
     return time.perf_counter() - start, report
 
 
-def run_benchmark(mode: str) -> dict:
-    duration, pps, reps, warmup = MODES[mode]
-    workload = build_workload(["ddos"], duration=duration, pps=pps, seed=7)
-    trace = workload.trace
-    window = 3.0
-
-    query = build_query("ddos", qid=1)
-    planner = QueryPlanner([query], trace, window=window, time_limit=20.0)
-    plan = planner.plan("sonata")
-
+def _bench_engine(plan, trace, reps: int, warmup: int, engine: str) -> dict:
+    """Benchmark one engine: interleaved obs-off/obs-on replays."""
     # Interleave the two configurations: wall time drifts downward over
     # the first replays (cold caches), so back-to-back blocks would bias
     # whichever mode runs first.
@@ -70,52 +79,128 @@ def run_benchmark(mode: str) -> dict:
     report = None
     last_obs = None
     for _ in range(warmup):
-        _run_once(plan, trace, NULL_OBS)
-        _run_once(plan, trace, Observability())
+        _run_once(plan, trace, NULL_OBS, engine)
+        _run_once(plan, trace, Observability(), engine)
     for _ in range(reps):
-        seconds, report = _run_once(plan, trace, NULL_OBS)
+        seconds, report = _run_once(plan, trace, NULL_OBS, engine)
         disabled.append(seconds)
         last_obs = Observability()
-        seconds, _ = _run_once(plan, trace, last_obs)
+        seconds, _ = _run_once(plan, trace, last_obs, engine)
         enabled.append(seconds)
 
     # Min-of-reps: both modes do identical deterministic work, so the
     # fastest replay is the least-noise estimate of the true cost.
     disabled_s = min(disabled)
     enabled_s = min(enabled)
-    overhead_pct = (enabled_s - disabled_s) / disabled_s * 100.0
     packets = sum(w.packets for w in report.windows)
-    tuples = report.total_tuples
-
+    stages = {
+        name: {k: round(v, 6) for k, v in stats.items()}
+        for name, stats in stage_timings(last_obs).items()
+    }
     return {
-        "schema": "sonata.bench_pipeline/1",
+        "engine": engine,
+        "reps": reps,
+        "disabled_s": [round(s, 6) for s in disabled],
+        "enabled_s": [round(s, 6) for s in enabled],
+        "disabled_best_s": round(disabled_s, 6),
+        "enabled_best_s": round(enabled_s, 6),
+        "obs_overhead_pct": round((enabled_s - disabled_s) / disabled_s * 100.0, 2),
+        "packets": packets,
+        "tuples": report.total_tuples,
+        "windows": len(report.windows),
+        "packets_per_s": round(packets / disabled_s, 1),
+        "tuples_per_s": round(report.total_tuples / disabled_s, 1),
+        "stages": stages,
+    }
+
+
+def run_benchmark(mode: str, engine: str) -> dict:
+    duration, pps, reps, warmup = MODES[mode]
+    workload = build_workload(QUERIES, duration=duration, pps=pps, seed=7)
+    trace = workload.trace
+    window = 3.0
+
+    queries = build_queries(QUERIES)
+    planner = QueryPlanner(queries, trace, window=window, time_limit=20.0)
+    plan = planner.plan("sonata")
+
+    engines = ["batched", "rowwise"] if engine == "both" else [engine]
+    runs = {e: _bench_engine(plan, trace, reps, warmup, e) for e in engines}
+    primary = runs[engines[0]]
+
+    result = {
+        "schema": "sonata.bench_pipeline/2",
         "mode": mode,
+        "engine": primary["engine"],
         "workload": {
-            "queries": ["ddos"],
+            "queries": QUERIES,
             "duration_s": duration,
             "pps": pps,
             "window_s": window,
-            "packets": packets,
-            "windows": len(report.windows),
-            "tuples_to_sp": tuples,
+            "packets": primary["packets"],
+            "windows": primary["windows"],
+            "tuples_to_sp": primary["tuples"],
         },
         "timings": {
-            "reps": reps,
-            "disabled_s": [round(s, 6) for s in disabled],
-            "enabled_s": [round(s, 6) for s in enabled],
-            "disabled_best_s": round(disabled_s, 6),
-            "enabled_best_s": round(enabled_s, 6),
+            k: primary[k]
+            for k in (
+                "reps",
+                "disabled_s",
+                "enabled_s",
+                "disabled_best_s",
+                "enabled_best_s",
+            )
         },
         "throughput": {
-            "packets_per_s": round(packets / disabled_s, 1),
-            "tuples_per_s": round(tuples / disabled_s, 1),
+            "packets_per_s": primary["packets_per_s"],
+            "tuples_per_s": primary["tuples_per_s"],
         },
-        "obs_overhead_pct": round(overhead_pct, 2),
-        "stages": {
-            name: {k: round(v, 6) for k, v in stats.items()}
-            for name, stats in stage_timings(last_obs).items()
-        },
+        "obs_overhead_pct": primary["obs_overhead_pct"],
+        "stages": primary["stages"],
     }
+
+    if engine == "both":
+        batched, rowwise = runs["batched"], runs["rowwise"]
+        switch_b = batched["stages"].get("stage.switch", {}).get("total_s", 0.0)
+        switch_r = rowwise["stages"].get("stage.switch", {}).get("total_s", 0.0)
+        result["comparison"] = {
+            "rowwise_best_s": rowwise["disabled_best_s"],
+            "batched_best_s": batched["disabled_best_s"],
+            "rowwise_packets_per_s": rowwise["packets_per_s"],
+            "batched_packets_per_s": batched["packets_per_s"],
+            "end_to_end_speedup": round(
+                rowwise["disabled_best_s"] / batched["disabled_best_s"], 2
+            ),
+            "switch_stage_rowwise_s": round(switch_r, 6),
+            "switch_stage_batched_s": round(switch_b, 6),
+            "switch_stage_speedup": round(switch_r / switch_b, 2)
+            if switch_b
+            else None,
+            "rowwise_obs_overhead_pct": rowwise["obs_overhead_pct"],
+        }
+    return result
+
+
+def check_baseline(result: dict, baseline_path: Path) -> str | None:
+    """Return an error message when throughput regressed past the gate."""
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except FileNotFoundError:
+        return f"baseline file {baseline_path} not found"
+    except json.JSONDecodeError as exc:
+        return f"baseline file {baseline_path} is not valid JSON: {exc}"
+    base_pps = baseline.get("throughput", {}).get("packets_per_s")
+    if not base_pps:
+        return f"baseline file {baseline_path} has no throughput.packets_per_s"
+    new_pps = result["throughput"]["packets_per_s"]
+    floor = base_pps * (1.0 - BASELINE_DROP_LIMIT)
+    if new_pps < floor:
+        return (
+            f"throughput regression: {new_pps:.0f} packets/s is more than "
+            f"{BASELINE_DROP_LIMIT:.0%} below the committed baseline "
+            f"{base_pps:.0f} packets/s (floor {floor:.0f})"
+        )
+    return None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -123,6 +208,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke", action="store_true",
         help="small workload + fewer reps (the CI configuration)",
+    )
+    parser.add_argument(
+        "--engine", choices=["batched", "rowwise", "both"], default="batched",
+        help="data-plane engine to benchmark; 'both' also reports the "
+        "batched-vs-rowwise switch-stage speedup (default: batched)",
     )
     parser.add_argument(
         "--out", default=str(REPO_ROOT / "BENCH_pipeline.json"),
@@ -133,6 +223,12 @@ def main(argv: list[str] | None = None) -> int:
         help="fail (exit 1) if enabled overhead exceeds PCT percent "
         "(default: 10 in --smoke mode, unlimited otherwise)",
     )
+    parser.add_argument(
+        "--check-baseline", nargs="?", const=str(REPO_ROOT / "BENCH_pipeline.json"),
+        default=None, metavar="FILE",
+        help="fail (exit 1) if packets/s drops >20%% below the committed "
+        "baseline JSON (default FILE: repo-root BENCH_pipeline.json)",
+    )
     args = parser.parse_args(argv)
 
     mode = "smoke" if args.smoke else "full"
@@ -140,27 +236,46 @@ def main(argv: list[str] | None = None) -> int:
     if max_overhead is None and args.smoke:
         max_overhead = 10.0
 
-    result = run_benchmark(mode)
+    result = run_benchmark(mode, args.engine)
+    # Evaluate the regression gate before writing: the default output path
+    # IS the committed baseline, and overwriting first would self-compare.
+    baseline_error = (
+        check_baseline(result, Path(args.check_baseline))
+        if args.check_baseline is not None
+        else None
+    )
     out = Path(args.out)
     out.write_text(json.dumps(result, indent=2) + "\n")
 
     t = result["throughput"]
     print(
-        f"[{mode}] {result['workload']['packets']} packets, "
+        f"[{mode}/{result['engine']}] {result['workload']['packets']} packets, "
         f"{result['workload']['windows']} windows: "
         f"{t['packets_per_s']:.0f} pkts/s, {t['tuples_per_s']:.0f} tuples/s, "
         f"obs overhead {result['obs_overhead_pct']:+.2f}%"
     )
+    if "comparison" in result:
+        c = result["comparison"]
+        print(
+            f"rowwise {c['rowwise_packets_per_s']:.0f} pkts/s -> batched "
+            f"{c['batched_packets_per_s']:.0f} pkts/s "
+            f"({c['end_to_end_speedup']:.2f}x end to end, "
+            f"{c['switch_stage_speedup']:.2f}x switch stage)"
+        )
     print(f"wrote {out}")
 
+    status = 0
     if max_overhead is not None and result["obs_overhead_pct"] > max_overhead:
         print(
             f"FAIL: observability overhead {result['obs_overhead_pct']:.2f}% "
             f"exceeds the {max_overhead:.1f}% budget",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        status = 1
+    if baseline_error:
+        print(f"FAIL: {baseline_error}", file=sys.stderr)
+        status = 1
+    return status
 
 
 if __name__ == "__main__":

@@ -9,7 +9,6 @@ trace-driven cost estimation) is built once per session.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest

@@ -7,78 +7,46 @@ operators — the number of keys and the register bits needed to hold them.
 Those are exactly the ``N_{q,t}`` and ``B_{q,t}`` inputs of the query
 planning ILP (Table 1 of the paper).
 
-String-valued fields (DNS names) are processed as integer ids against a
-vocabulary; coarsening re-interns coarsened names in an engine-local
-vocabulary so grouping and membership tests stay vectorized.
+The operator kernels themselves live in :mod:`repro.exec` and are shared
+with the switch's batched window path; this module layers the cost-model
+bookkeeping (:class:`OperatorStats`) and join handling on top.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
-import numpy as np
-
 from repro.core.errors import QueryValidationError
-from repro.core.expressions import Expression, Prefixed
-from repro.core.fields import FIELDS, FieldRegistry, coarsen_value
+from repro.core.fields import FIELDS, FieldRegistry
 from repro.core.operators import (
     Distinct,
     Filter,
     Join,
     Map,
     Operator,
-    Predicate,
     Reduce,
     Schema,
 )
 from repro.core.query import JoinNode, Query, SubQuery
+from repro.exec import (
+    ColumnarState,
+    apply_distinct,
+    apply_filter,
+    apply_map,
+    apply_reduce,
+    materialize_value,
+)
 from repro.packets.trace import Trace
 
-
-@dataclass
-class ColumnarState:
-    """Tuple columns mid-pipeline.
-
-    ``columns`` maps field name → numpy array (one entry per tuple).
-    ``vocabs`` maps *string-typed* field names → list of strings; the
-    column then holds vocabulary ids (or -1 for "absent").
-    ``payloads`` is the payload side table for ``contains`` predicates.
-    """
-
-    columns: dict[str, np.ndarray]
-    vocabs: dict[str, list[str]] = field(default_factory=dict)
-    payloads: list[bytes] = field(default_factory=list)
-
-    @property
-    def n_rows(self) -> int:
-        if not self.columns:
-            return 0
-        return len(next(iter(self.columns.values())))
-
-    def select(self, mask: np.ndarray) -> "ColumnarState":
-        return ColumnarState(
-            columns={name: col[mask] for name, col in self.columns.items()},
-            vocabs=self.vocabs,
-            payloads=self.payloads,
-        )
-
-    @staticmethod
-    def from_trace(trace: Trace, registry: FieldRegistry = FIELDS) -> "ColumnarState":
-        columns = {
-            name: np.asarray(trace.array[registry.get(name).column])
-            for name in registry.names()
-        }
-        return ColumnarState(
-            columns=columns,
-            # payload ids resolve through the payload side table exactly
-            # like DNS-name ids resolve through the qname vocabulary.
-            vocabs={
-                "dns.rr.name": list(trace.qnames),
-                "payload": list(trace.payloads),
-            },
-            payloads=list(trace.payloads),
-        )
+__all__ = [
+    "ColumnarState",
+    "OperatorStats",
+    "ColumnarResult",
+    "execute_operators",
+    "execute_subquery",
+    "execute_query",
+]
 
 
 @dataclass(frozen=True)
@@ -113,183 +81,13 @@ class ColumnarResult:
         names = self.schema.fields
         columns = self.final.columns
         for i in range(self.final.n_rows):
-            row: dict[str, Any] = {}
-            for name in names:
-                value = columns[name][i]
-                vocab = self.final.vocabs.get(name)
-                if vocab is not None:
-                    idx = int(value)
-                    missing = b"" if name == "payload" else ""
-                    row[name] = vocab[idx] if 0 <= idx < len(vocab) else missing
-                else:
-                    row[name] = int(value)
-            out.append(row)
-        return out
-
-
-def _is_str_field(name: str, state: ColumnarState) -> bool:
-    return name in state.vocabs
-
-
-def _coarsen_vocab(vocab: list[str], level: int) -> tuple[list[str], np.ndarray]:
-    """Coarsen every vocab entry; return (new_vocab, id_remap)."""
-    spec = FIELDS.get("dns.rr.name")
-    new_vocab: list[str] = []
-    intern: dict[str, int] = {}
-    remap = np.empty(len(vocab), dtype=np.int64)
-    for i, name in enumerate(vocab):
-        coarse = str(coarsen_value(spec, name, level))
-        if coarse not in intern:
-            intern[coarse] = len(new_vocab)
-            new_vocab.append(coarse)
-        remap[i] = intern[coarse]
-    return new_vocab, remap
-
-
-def _predicate_mask(
-    pred: Predicate,
-    state: ColumnarState,
-    tables: Mapping[str, set] | None,
-) -> np.ndarray:
-    """Evaluate one predicate over the current columns."""
-    if pred.op == "contains":
-        # Byte-substring probes resolve through the payload side table.
-        side = {"payloads": state.payloads}
-        return pred.evaluate_columnar(state.columns, tables=tables, side_tables=side)
-    if _is_str_field(pred.field, state):
-        vocab = state.vocabs[pred.field]
-        ids = state.columns[pred.field]
-        if pred.level is not None:
-            spec = FIELDS.get(pred.field)
-            values = [
-                str(coarsen_value(spec, name, pred.level)) for name in vocab
-            ]
-        else:
-            values = list(vocab)
-        if pred.op == "in":
-            table = (tables or {}).get(pred.value) or set()
-            keep = np.array([v in table for v in values], dtype=bool)
-        elif pred.op == "eq":
-            keep = np.array([v == pred.value for v in values], dtype=bool)
-        elif pred.op == "ne":
-            keep = np.array([v != pred.value for v in values], dtype=bool)
-        else:
-            raise QueryValidationError(
-                f"predicate op {pred.op!r} unsupported on string field {pred.field}"
+            out.append(
+                {
+                    name: materialize_value(self.final, name, columns[name][i])
+                    for name in names
+                }
             )
-        mask = np.zeros(len(ids), dtype=bool)
-        valid = ids >= 0
-        mask[valid] = keep[ids[valid].astype(np.int64)]
-        return mask
-    side = {"payloads": state.payloads}
-    return pred.evaluate_columnar(state.columns, tables=tables, side_tables=side)
-
-
-def _apply_filter(
-    op: Filter, state: ColumnarState, tables: Mapping[str, set] | None
-) -> ColumnarState:
-    mask = np.ones(state.n_rows, dtype=bool)
-    for pred in op.predicates:
-        mask &= _predicate_mask(pred, state, tables)
-    return state.select(mask)
-
-
-def _eval_expression(expr: Expression, state: ColumnarState) -> tuple[np.ndarray, list[str] | None]:
-    """Evaluate a map expression; returns (column, vocab-or-None)."""
-    if isinstance(expr, Prefixed) and _is_str_field(expr.field, state):
-        vocab = state.vocabs[expr.field]
-        new_vocab, remap = _coarsen_vocab(vocab, expr.level)
-        ids = state.columns[expr.field].astype(np.int64)
-        out = np.where(ids >= 0, remap[np.clip(ids, 0, None)], -1)
-        return out, new_vocab
-    inputs = expr.inputs()
-    for name in inputs:
-        if _is_str_field(name, state) and not isinstance(expr, Prefixed):
-            # Pass-through of a string field keeps its vocabulary.
-            break
-    column = expr.evaluate_columnar(state.columns)
-    vocab = None
-    if len(inputs) == 1 and _is_str_field(inputs[0], state):
-        vocab = state.vocabs[inputs[0]]
-    return column, vocab
-
-
-def _apply_map(op: Map, state: ColumnarState) -> ColumnarState:
-    columns: dict[str, np.ndarray] = {}
-    vocabs: dict[str, list[str]] = {}
-    for expr in op.keys + op.values:
-        column, vocab = _eval_expression(expr, state)
-        columns[expr.name] = column
-        if vocab is not None:
-            vocabs[expr.name] = vocab
-    return ColumnarState(columns=columns, vocabs=vocabs, payloads=state.payloads)
-
-
-def _group_keys(
-    state: ColumnarState, keys: Sequence[str]
-) -> tuple[dict[str, np.ndarray], np.ndarray]:
-    """Group rows by key columns; returns (unique key columns, inverse)."""
-    if state.n_rows == 0:
-        return {k: state.columns[k][:0] for k in keys}, np.empty(0, dtype=np.int64)
-    stacked = np.stack(
-        [state.columns[k].astype(np.int64) for k in keys], axis=1
-    )
-    unique, inverse = np.unique(stacked, axis=0, return_inverse=True)
-    unique_cols = {
-        k: unique[:, i].astype(state.columns[k].dtype) for i, k in enumerate(keys)
-    }
-    return unique_cols, inverse.ravel()
-
-
-def _state_bits(schema: Schema, keys: Sequence[str], n_keys: int, value_bits: int) -> int:
-    key_bits = sum(schema.width_of(k) for k in keys)
-    return n_keys * (key_bits + value_bits)
-
-
-def _apply_reduce(
-    op: Reduce, state: ColumnarState, schema_in: Schema
-) -> tuple[ColumnarState, int, int]:
-    unique_cols, inverse = _group_keys(state, op.keys)
-    n_keys = len(next(iter(unique_cols.values()))) if unique_cols else 0
-    value_field = op.resolved_value_field(schema_in)
-    if state.n_rows == 0:
-        agg = np.empty(0, dtype=np.int64)
-    elif op.func == "count" or value_field is None:
-        agg = np.bincount(inverse, minlength=n_keys).astype(np.int64)
-    else:
-        values = state.columns[value_field].astype(np.int64)
-        if op.func == "sum":
-            agg = np.bincount(inverse, weights=values.astype(np.float64), minlength=n_keys)
-            agg = np.rint(agg).astype(np.int64)
-        elif op.func == "max":
-            agg = np.full(n_keys, np.iinfo(np.int64).min, dtype=np.int64)
-            np.maximum.at(agg, inverse, values)
-        elif op.func == "min":
-            agg = np.full(n_keys, np.iinfo(np.int64).max, dtype=np.int64)
-            np.minimum.at(agg, inverse, values)
-        elif op.func == "or":
-            agg = np.zeros(n_keys, dtype=np.int64)
-            np.bitwise_or.at(agg, inverse, values)
-        else:  # pragma: no cover - guarded in Reduce.__post_init__
-            raise QueryValidationError(f"unknown reduce func {op.func}")
-    columns = dict(unique_cols)
-    columns[op.out] = agg
-    vocabs = {k: v for k, v in state.vocabs.items() if k in op.keys}
-    out_state = ColumnarState(columns=columns, vocabs=vocabs, payloads=state.payloads)
-    bits = _state_bits(schema_in, op.keys, n_keys, value_bits=32)
-    return out_state, n_keys, bits
-
-
-def _apply_distinct(
-    op: Distinct, state: ColumnarState, schema_in: Schema
-) -> tuple[ColumnarState, int, int]:
-    keys = op.effective_keys(schema_in)
-    unique_cols, _ = _group_keys(state, keys)
-    n_keys = len(next(iter(unique_cols.values()))) if unique_cols else 0
-    vocabs = {k: v for k, v in state.vocabs.items() if k in keys}
-    out_state = ColumnarState(columns=dict(unique_cols), vocabs=vocabs, payloads=state.payloads)
-    bits = _state_bits(schema_in, keys, n_keys, value_bits=1)
-    return out_state, n_keys, bits
+        return out
 
 
 def execute_operators(
@@ -306,15 +104,15 @@ def execute_operators(
     for op in operators:
         op.validate(schema)
         if isinstance(op, Filter):
-            state = _apply_filter(op, state, tables)
+            state = apply_filter(op, state, tables)
             keys, bits = 0, 0
         elif isinstance(op, Map):
-            state = _apply_map(op, state)
+            state = apply_map(op, state)
             keys, bits = 0, 0
         elif isinstance(op, Reduce):
-            state, keys, bits = _apply_reduce(op, state, schema)
+            state, keys, bits = apply_reduce(op, state, schema)
         elif isinstance(op, Distinct):
-            state, keys, bits = _apply_distinct(op, state, schema)
+            state, keys, bits = apply_distinct(op, state, schema)
         elif isinstance(op, Join):
             raise QueryValidationError(
                 "execute_operators only handles linear chains; use execute_query"

@@ -191,7 +191,11 @@ def cmd_run(args: argparse.Namespace) -> int:
             raise SystemExit(f"--faults: {exc}") from None
     try:
         report = SonataRuntime(
-            plan, faults=faults, degradation=degradation, obs=obs
+            plan,
+            faults=faults,
+            degradation=degradation,
+            obs=obs,
+            engine=args.engine,
         ).run(trace)
     finally:
         set_observability(None)
@@ -409,6 +413,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enable observability without writing files (prints the "
         "end-of-run per-stage timing summary)",
+    )
+    run.add_argument(
+        "--engine",
+        choices=["batched", "rowwise"],
+        default="batched",
+        help="data-plane execution engine: vectorized window batches "
+        "(default) or the per-packet reference interpreter",
     )
     run.set_defaults(func=cmd_run)
 

@@ -22,7 +22,6 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from repro.core.errors import QueryValidationError
-from repro.core.expressions import Const
 from repro.core.fields import FieldRegistry, FIELDS
 from repro.core.operators import (
     Distinct,

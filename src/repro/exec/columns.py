@@ -1,0 +1,135 @@
+"""Column-dict state shared by the vectorized execution engines.
+
+A :class:`ColumnarState` holds one window of tuples as ``field name →
+numpy array`` over :class:`~repro.packets.trace.Trace` views. String- and
+bytes-valued fields (DNS names, payloads) are stored as integer ids into a
+vocabulary side table (-1 = absent) so grouping and membership tests stay
+vectorized; :func:`materialize_value` resolves ids back to the exact
+Python values the row-wise engines produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.core.fields import FIELDS, FieldRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.packets.trace import Trace
+
+
+@dataclass
+class ColumnarState:
+    """Tuple columns mid-pipeline.
+
+    ``columns`` maps field name → numpy array (one entry per tuple).
+    ``vocabs`` maps *string-typed* field names → list of strings; the
+    column then holds vocabulary ids (or -1 for "absent").
+    ``payloads`` is the payload side table for ``contains`` predicates.
+    """
+
+    columns: dict[str, np.ndarray]
+    vocabs: dict[str, list[str]] = field(default_factory=dict)
+    payloads: list[bytes] = field(default_factory=list)
+
+    @property
+    def n_rows(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    def select(self, mask: np.ndarray) -> "ColumnarState":
+        return ColumnarState(
+            columns={name: col[mask] for name, col in self.columns.items()},
+            vocabs=self.vocabs,
+            payloads=self.payloads,
+        )
+
+    @staticmethod
+    def from_trace(trace: "Trace", registry: FieldRegistry = FIELDS) -> "ColumnarState":
+        columns = {
+            name: np.asarray(trace.array[registry.get(name).column])
+            for name in registry.names()
+        }
+        return ColumnarState(
+            columns=columns,
+            # payload ids resolve through the payload side table exactly
+            # like DNS-name ids resolve through the qname vocabulary.
+            vocabs={
+                "dns.rr.name": list(trace.qnames),
+                "payload": list(trace.payloads),
+            },
+            payloads=list(trace.payloads),
+        )
+
+
+def is_str_field(name: str, state: ColumnarState) -> bool:
+    return name in state.vocabs
+
+
+def materialize_value(
+    state: ColumnarState, name: str, raw: Any
+) -> int | float | str | bytes:
+    """Resolve one column cell to the Python value a row engine would hold."""
+    vocab = state.vocabs.get(name)
+    if vocab is not None:
+        idx = int(raw)
+        if 0 <= idx < len(vocab):
+            return vocab[idx]
+        return b"" if name == "payload" else ""
+    if state.columns[name].dtype.kind == "f":
+        return float(raw)
+    return int(raw)
+
+
+def materialize_rows(
+    state: ColumnarState, names: "list[str] | tuple[str, ...]"
+) -> list[dict[str, Any]]:
+    """Materialize every row of ``state`` as a dict of Python values.
+
+    Types match the row-wise engines exactly: plain ``int`` (``float`` for
+    the float-typed ``ts`` column), vocab ids resolved to ``str``/``bytes``
+    with ``""``/``b""`` for absent (-1) ids.
+    """
+    n = state.n_rows
+    resolved: dict[str, list[Any]] = {}
+    for name in names:
+        col = state.columns[name]
+        vocab = state.vocabs.get(name)
+        if vocab is not None:
+            missing: str | bytes = b"" if name == "payload" else ""
+            ids = col.astype(np.int64, copy=False).tolist()
+            resolved[name] = [
+                vocab[i] if 0 <= i < len(vocab) else missing for i in ids
+            ]
+        elif col.dtype.kind == "f":
+            resolved[name] = [float(v) for v in col.tolist()]
+        else:
+            resolved[name] = col.tolist()  # tolist() yields Python ints
+    return [{name: resolved[name][i] for name in names} for i in range(n)]
+
+
+def value_mask(state: ColumnarState, name: str, value: Any) -> np.ndarray:
+    """Rows where ``packet.get(name) == value`` (drop-rule semantics)."""
+    col = state.columns[name]
+    vocab = state.vocabs.get(name)
+    if vocab is None:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return col == value
+        return np.zeros(len(col), dtype=bool)
+    # String/bytes field: missing ids (-1) compare equal to ""/b"".
+    missing: str | bytes = b"" if name == "payload" else ""
+    ids = col.astype(np.int64, copy=False)
+    if value == missing:
+        base = ids < 0
+    else:
+        base = np.zeros(len(col), dtype=bool)
+    keep = np.fromiter((v == value for v in vocab), dtype=bool, count=len(vocab))
+    valid = ids >= 0
+    out = base.copy()
+    if len(vocab):
+        out[valid] = keep[ids[valid]]
+    return out

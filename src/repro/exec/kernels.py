@@ -1,0 +1,274 @@
+"""Vectorized operator kernels over :class:`ColumnarState` columns.
+
+One shared kernel layer for every batch engine: the columnar analytics
+engine (planner cost estimation, raw-mirror fallback) and the switch's
+batched window path both execute filters, maps, grouping and aggregation
+through these functions, so their semantics cannot drift apart. The
+row-wise interpreters share the scalar half of the same definitions via
+:mod:`repro.exec.alu`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import QueryValidationError
+from repro.core.expressions import Expression, Prefixed
+from repro.core.fields import FIELDS, coarsen_value
+from repro.core.operators import Distinct, Filter, Map, Predicate, Reduce, Schema
+from repro.exec.alu import aggregate_groups
+from repro.exec.columns import ColumnarState, is_str_field
+
+
+def coarsen_vocab(vocab: list[str], level: int) -> tuple[list[str], np.ndarray]:
+    """Coarsen every vocab entry; return (new_vocab, id_remap)."""
+    spec = FIELDS.get("dns.rr.name")
+    new_vocab: list[str] = []
+    intern: dict[str, int] = {}
+    remap = np.empty(len(vocab), dtype=np.int64)
+    for i, name in enumerate(vocab):
+        coarse = str(coarsen_value(spec, name, level))
+        if coarse not in intern:
+            intern[coarse] = len(new_vocab)
+            new_vocab.append(coarse)
+        remap[i] = intern[coarse]
+    return new_vocab, remap
+
+
+def predicate_mask(
+    pred: Predicate,
+    state: ColumnarState,
+    tables: Mapping[str, set] | None,
+) -> np.ndarray:
+    """Evaluate one predicate over the current columns."""
+    if pred.op == "contains":
+        # Byte-substring probes resolve through the payload side table.
+        side = {"payloads": state.payloads}
+        return pred.evaluate_columnar(state.columns, tables=tables, side_tables=side)
+    if is_str_field(pred.field, state):
+        vocab = state.vocabs[pred.field]
+        ids = state.columns[pred.field]
+        if pred.level is not None:
+            spec = FIELDS.get(pred.field)
+            values = [
+                str(coarsen_value(spec, name, pred.level)) for name in vocab
+            ]
+        else:
+            values = list(vocab)
+        if pred.op == "in":
+            table = (tables or {}).get(pred.value) or set()
+            keep = np.array([v in table for v in values], dtype=bool)
+        elif pred.op == "eq":
+            keep = np.array([v == pred.value for v in values], dtype=bool)
+        elif pred.op == "ne":
+            keep = np.array([v != pred.value for v in values], dtype=bool)
+        else:
+            raise QueryValidationError(
+                f"predicate op {pred.op!r} unsupported on string field {pred.field}"
+            )
+        mask = np.zeros(len(ids), dtype=bool)
+        valid = ids >= 0
+        mask[valid] = keep[ids[valid].astype(np.int64)]
+        return mask
+    side = {"payloads": state.payloads}
+    return pred.evaluate_columnar(state.columns, tables=tables, side_tables=side)
+
+
+def filter_mask(
+    op: Filter, state: ColumnarState, tables: Mapping[str, set] | None
+) -> np.ndarray:
+    mask = np.ones(state.n_rows, dtype=bool)
+    for pred in op.predicates:
+        mask &= predicate_mask(pred, state, tables)
+    return mask
+
+
+def apply_filter(
+    op: Filter, state: ColumnarState, tables: Mapping[str, set] | None
+) -> ColumnarState:
+    return state.select(filter_mask(op, state, tables))
+
+
+def eval_expression(
+    expr: Expression, state: ColumnarState
+) -> tuple[np.ndarray, list[str] | None]:
+    """Evaluate a map expression; returns (column, vocab-or-None)."""
+    if isinstance(expr, Prefixed) and is_str_field(expr.field, state):
+        vocab = state.vocabs[expr.field]
+        new_vocab, remap = coarsen_vocab(vocab, expr.level)
+        ids = state.columns[expr.field].astype(np.int64)
+        if (ids < 0).any():
+            # Rows without the field coarsen like the row engines coarsen
+            # "" (e.g. "." for DNS names), not to a distinct absent id.
+            spec = FIELDS.get(expr.field)
+            missing = str(coarsen_value(spec, "", expr.level))
+            if missing in new_vocab:
+                missing_id = new_vocab.index(missing)
+            else:
+                missing_id = len(new_vocab)
+                new_vocab = new_vocab + [missing]
+            out = np.where(ids >= 0, remap[np.clip(ids, 0, None)], missing_id)
+        else:
+            out = np.where(ids >= 0, remap[np.clip(ids, 0, None)], -1)
+        return out, new_vocab
+    inputs = expr.inputs()
+    column = expr.evaluate_columnar(state.columns)
+    vocab = None
+    if len(inputs) == 1 and is_str_field(inputs[0], state):
+        # Pass-through of a string field keeps its vocabulary.
+        vocab = state.vocabs[inputs[0]]
+    return column, vocab
+
+
+def apply_map(op: Map, state: ColumnarState) -> ColumnarState:
+    columns: dict[str, np.ndarray] = {}
+    vocabs: dict[str, list[str]] = {}
+    for expr in op.keys + op.values:
+        column, vocab = eval_expression(expr, state)
+        columns[expr.name] = column
+        if vocab is not None:
+            vocabs[expr.name] = vocab
+    return ColumnarState(columns=columns, vocabs=vocabs, payloads=state.payloads)
+
+
+def group_keys(
+    state: ColumnarState, keys: Sequence[str]
+) -> tuple[dict[str, np.ndarray], np.ndarray]:
+    """Group rows by key columns; returns (unique key columns, inverse)."""
+    if state.n_rows == 0:
+        return {k: state.columns[k][:0] for k in keys}, np.empty(0, dtype=np.int64)
+    stacked = np.stack(
+        [state.columns[k].astype(np.int64) for k in keys], axis=1
+    )
+    unique, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    unique_cols = {
+        k: unique[:, i].astype(state.columns[k].dtype) for i, k in enumerate(keys)
+    }
+    return unique_cols, inverse.ravel()
+
+
+def group_first_occurrence(
+    state: ColumnarState, keys: Sequence[str]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Group rows by key columns, uniques ordered by *first occurrence*.
+
+    Returns ``(unique, first_rows, inverse)`` where ``unique`` is the
+    ``(n_keys, len(keys))`` int64 key matrix in the order a row-wise
+    engine first encounters each key, ``first_rows[j]`` is the row index
+    of key ``j``'s first occurrence, and ``inverse[i]`` is row ``i``'s key
+    id in that same order. This ordering is what makes the batched
+    register simulation insert keys exactly like the per-packet oracle.
+    """
+    if state.n_rows == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return np.empty((0, len(keys)), dtype=np.int64), empty, empty
+    stacked = np.stack(
+        [state.columns[k].astype(np.int64) for k in keys], axis=1
+    )
+    unique, first_idx, inverse = np.unique(
+        stacked, axis=0, return_index=True, return_inverse=True
+    )
+    inverse = inverse.ravel()
+    order = np.argsort(first_idx, kind="stable")
+    rank = np.empty(len(order), dtype=np.int64)
+    rank[order] = np.arange(len(order), dtype=np.int64)
+    return unique[order], first_idx[order], rank[inverse]
+
+
+def apply_reduce(
+    op: Reduce, state: ColumnarState, schema_in: Schema
+) -> tuple[ColumnarState, int, int]:
+    unique_cols, inverse = group_keys(state, op.keys)
+    n_keys = len(next(iter(unique_cols.values()))) if unique_cols else 0
+    value_field = op.resolved_value_field(schema_in)
+    if state.n_rows == 0:
+        agg = np.empty(0, dtype=np.int64)
+    else:
+        func = "count" if value_field is None else op.func
+        values = None if value_field is None else state.columns[value_field]
+        agg = aggregate_groups(inverse, values, n_keys, func)
+    columns = dict(unique_cols)
+    columns[op.out] = agg
+    vocabs = {k: v for k, v in state.vocabs.items() if k in op.keys}
+    out_state = ColumnarState(columns=columns, vocabs=vocabs, payloads=state.payloads)
+    bits = state_bits(schema_in, op.keys, n_keys, value_bits=32)
+    return out_state, n_keys, bits
+
+
+def apply_distinct(
+    op: Distinct, state: ColumnarState, schema_in: Schema
+) -> tuple[ColumnarState, int, int]:
+    keys = op.effective_keys(schema_in)
+    unique_cols, _ = group_keys(state, keys)
+    n_keys = len(next(iter(unique_cols.values()))) if unique_cols else 0
+    vocabs = {k: v for k, v in state.vocabs.items() if k in keys}
+    out_state = ColumnarState(columns=dict(unique_cols), vocabs=vocabs, payloads=state.payloads)
+    bits = state_bits(schema_in, keys, n_keys, value_bits=1)
+    return out_state, n_keys, bits
+
+
+def state_bits(schema: Schema, keys: Sequence[str], n_keys: int, value_bits: int) -> int:
+    key_bits = sum(schema.width_of(k) for k in keys)
+    return n_keys * (key_bits + value_bits)
+
+
+def threshold_mask(predicates: Sequence[Predicate], values: np.ndarray) -> np.ndarray:
+    """Rows whose running aggregate passes every folded threshold predicate.
+
+    The compiler's fold guarantee (``_is_threshold_filter``) means every
+    predicate compares the reduce output with gt/ge/lt/le, so the probe
+    only needs the aggregate value.
+    """
+    mask = np.ones(len(values), dtype=bool)
+    for pred in predicates:
+        if pred.op == "gt":
+            mask &= values > pred.value
+        elif pred.op == "ge":
+            mask &= values >= pred.value
+        elif pred.op == "lt":
+            mask &= values < pred.value
+        elif pred.op == "le":
+            mask &= values <= pred.value
+        else:  # pragma: no cover - excluded by the compiler's fold check
+            raise QueryValidationError(
+                f"folded threshold predicate has non-threshold op {pred.op!r}"
+            )
+    return mask
+
+
+def reduce_args(
+    op: Reduce, state: ColumnarState, schema_in: Schema
+) -> tuple[str, np.ndarray]:
+    """Resolve a reduce's (ALU function, per-row argument column).
+
+    Matches the per-packet engine: no value field means the argument is 1,
+    and ``sum`` over implicit 1s runs as ``count``.
+    """
+    value_field = op.resolved_value_field(schema_in)
+    func = "count" if value_field is None and op.func == "sum" else op.func
+    if value_field is None:
+        args = np.ones(state.n_rows, dtype=np.int64)
+    else:
+        args = state.columns[value_field].astype(np.int64)
+    return func, args
+
+
+def materialize_keys(
+    state: ColumnarState, keys: Sequence[str], unique: np.ndarray
+) -> list[tuple]:
+    """Resolve an int64 unique-key matrix to Python key tuples.
+
+    Values match the row-wise engines: ints stay ``int``; vocab-typed
+    columns resolve ids to ``str``/``bytes`` (``""``/``b""`` for -1).
+    """
+    columns = unique.T.tolist()  # Python ints
+    for j, k in enumerate(keys):
+        vocab = state.vocabs.get(k)
+        if vocab is not None:
+            missing: str | bytes = b"" if k == "payload" else ""
+            columns[j] = [
+                vocab[i] if 0 <= i < len(vocab) else missing for i in columns[j]
+            ]
+    return list(zip(*columns)) if columns else [() for _ in range(len(unique))]

@@ -38,7 +38,6 @@ from repro.obs import MetricsSnapshot, get_observability
 from repro.packets.trace import Trace
 from repro.planner import QueryPlanner
 
-logger = logging.getLogger(__name__)
 from repro.planner.refinement import (
     scale_thresholds,
     trailing_threshold_fields,
@@ -47,6 +46,8 @@ from repro.planner.refinement import (
 from repro.runtime import SonataRuntime
 from repro.streaming.rowops import Row, apply_operator, assemble_join_tree
 from repro.switch.config import SwitchConfig
+
+logger = logging.getLogger(__name__)
 
 
 def _localized_query(query: Query, n_switches: int, scale: bool) -> Query:
@@ -146,12 +147,14 @@ class NetworkRuntime:
         faults: FaultSpec | None = None,
         degradation: DegradationPolicy | None = None,
         obs=None,
+        engine: str = "batched",
     ) -> None:
         self.queries = list(queries)
         if not self.queries:
             raise PlanningError("no queries for network-wide execution")
         self.topology = topology
         self.window = window
+        self.engine = engine
         self.local_threshold_scale = local_threshold_scale
         self.degradation = degradation or DegradationPolicy()
         self.faults = faults
@@ -207,6 +210,7 @@ class NetworkRuntime:
                     degradation=degradation,
                     fault_scope=f"switch{switch_id}",
                     obs=self.obs,
+                    engine=engine,
                 )
             )
 

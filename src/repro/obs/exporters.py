@@ -18,10 +18,10 @@ import json
 import math
 from typing import IO, TYPE_CHECKING, Iterable
 
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsSnapshot
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import Observability
-
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsSnapshot
 
 
 def _escape_label_value(value: str) -> str:

@@ -8,7 +8,7 @@ the CLI prints and that tests use to validate generated workloads.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

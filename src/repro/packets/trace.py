@@ -10,11 +10,9 @@ iterate over the same storage through :meth:`Trace.packets`.
 
 from __future__ import annotations
 
-import io
 import json
 import struct
 from collections.abc import Iterator
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -158,9 +156,56 @@ class Trace:
         )
 
     def packets(self) -> Iterator[Packet]:
-        """Iterate packets in order (materializing each)."""
-        for i in range(len(self.array)):
-            yield self.packet(i)
+        """Iterate packets in order (materializing each).
+
+        Columns are converted to Python lists once up front and the DNS
+        side table is only consulted for rows that actually carry DNS
+        data, so the per-packet work is a plain ``Packet`` construction.
+        """
+        array = self.array
+        if not len(array):
+            return
+        ts = array["ts"].tolist()
+        pktlen = array["pktlen"].tolist()
+        proto = array["proto"].tolist()
+        sip = array["sip"].tolist()
+        dip = array["dip"].tolist()
+        sport = array["sport"].tolist()
+        dport = array["dport"].tolist()
+        tcpflags = array["tcpflags"].tolist()
+        ttl = array["ttl"].tolist()
+        name_id = array["dns_name_id"].tolist()
+        qtype = array["dns_qtype"].tolist()
+        ancount = array["dns_ancount"].tolist()
+        qr = array["dns_qr"].tolist()
+        payload_id = array["payload_id"].tolist()
+        qnames = self.qnames
+        payloads = self.payloads
+        for i in range(len(ts)):
+            nid = name_id[i]
+            if nid >= 0 or qr[i] or ancount[i] or qtype[i]:
+                dns = DNSInfo(
+                    qname=qnames[nid] if nid >= 0 else "",
+                    qtype=qtype[i],
+                    ancount=ancount[i],
+                    qr=qr[i],
+                )
+            else:
+                dns = None
+            pid = payload_id[i]
+            yield Packet(
+                ts=ts[i],
+                pktlen=pktlen[i],
+                proto=proto[i],
+                sip=sip[i],
+                dip=dip[i],
+                sport=sport[i],
+                dport=dport[i],
+                tcpflags=tcpflags[i],
+                ttl=ttl[i],
+                dns=dns,
+                payload=payloads[pid] if pid >= 0 else None,
+            )
 
     # -- transformation ----------------------------------------------------
     def sorted_by_time(self) -> "Trace":

@@ -22,7 +22,7 @@ discard traffic whose finer keys could not satisfy the query anyway.
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.analytics import execute_query, execute_subquery

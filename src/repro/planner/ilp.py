@@ -155,7 +155,7 @@ class PlanILP:
                 if incoming:
                     incoming[self._iv(qid, r2)] = -1.0
                     model.add_equality(incoming, 0.0)
-            for r1 in (ROOT_LEVEL,) + tuple(l for l in levels if l != finest):
+            for r1 in (ROOT_LEVEL,) + tuple(lvl for lvl in levels if lvl != finest):
                 outgoing = {
                     self._fv(qid, rr1, r2): 1.0
                     for rr1, r2 in transitions

@@ -149,10 +149,19 @@ class SonataRuntime:
         degradation=None,
         fault_scope: str = "",
         obs=None,
+        engine: str = "batched",
     ) -> None:
         self.plan = plan
         self.on_retrain = on_retrain
         self.retrain_overflow_threshold = retrain_overflow_threshold
+        #: Data-plane execution engine: ``"batched"`` runs each window
+        #: vectorized through :meth:`PISASwitch.process_window`;
+        #: ``"rowwise"`` keeps the per-packet reference oracle (used by
+        #: differential tests, and implied automatically for fault specs
+        #: that need per-packet PRNG interleaving).
+        if engine not in ("batched", "rowwise"):
+            raise ValueError(f"unknown engine {engine!r} (batched|rowwise)")
+        self.engine = engine
         self.retrain_signals: list[int] = []  # window indices that fired
         #: Observability context (``repro.obs``). Defaults to the
         #: process-wide instance (a no-op unless the CLI or a harness
@@ -323,13 +332,25 @@ class SonataRuntime:
         # 1. Data plane.
         with obs.span("stage.switch", window=index) as stage_span:
             if self.switch.instances:
-                for packet in window_trace.packets():
-                    mirrored = self.switch.process_packet(packet)
+                if self.engine == "batched":
+                    # One vectorized pass per window. The fault injector
+                    # consumes its mirror-channel PRNG per tuple, so one
+                    # call over the (packet-ordered) batch draws exactly
+                    # what the per-packet loop would.
+                    mirrored = self.switch.process_window(window_trace)
                     if faults is not None:
                         mirrored = faults.mirror(mirrored)
                     if self._wire_codec is not None:
                         mirrored = [self._wire_roundtrip(m) for m in mirrored]
                     self.emitter.ingest(mirrored)
+                else:
+                    for packet in window_trace.packets():
+                        mirrored = self.switch.process_packet(packet)
+                        if faults is not None:
+                            mirrored = faults.mirror(mirrored)
+                        if self._wire_codec is not None:
+                            mirrored = [self._wire_roundtrip(m) for m in mirrored]
+                        self.emitter.ingest(mirrored)
             if faults is not None:
                 # Watchdog: reordered tuples that still make the window
                 # deadline are delivered out of order; late ones are dropped

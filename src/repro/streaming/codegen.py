@@ -12,7 +12,7 @@ join plumbing and output handling).
 from __future__ import annotations
 
 from repro.core.expressions import Const, Difference, FieldRef, Prefixed, Quantized, Ratio
-from repro.core.operators import Distinct, Filter, Join, Map, Operator, Predicate, Reduce
+from repro.core.operators import Distinct, Filter, Map, Operator, Predicate, Reduce
 from repro.core.query import JoinNode, Query
 
 

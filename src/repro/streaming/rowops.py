@@ -13,6 +13,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.core.errors import QueryValidationError
 from repro.core.operators import Distinct, Filter, Join, Map, Operator, Reduce
+from repro.exec.alu import UPDATE_FUNCS, init_value
 
 Row = dict[str, Any]
 
@@ -44,20 +45,15 @@ def _reduce_value_field(rows: list[Row], op: Reduce) -> str | None:
 
 def _apply_reduce(rows: list[Row], op: Reduce) -> list[Row]:
     value_field = _reduce_value_field(rows, op)
+    update = UPDATE_FUNCS[op.func]  # shared register-ALU fold semantics
     grouped: dict[tuple, int] = {}
     for row in rows:
         key = tuple(row[k] for k in op.keys)
         value = 1 if value_field is None else int(row[value_field])
         if key not in grouped:
-            grouped[key] = 1 if op.func == "count" else value
-        elif op.func in ("sum", "count"):
-            grouped[key] += 1 if op.func == "count" else value
-        elif op.func == "max":
-            grouped[key] = max(grouped[key], value)
-        elif op.func == "min":
-            grouped[key] = min(grouped[key], value)
-        elif op.func == "or":
-            grouped[key] |= value
+            grouped[key] = init_value(op.func, value)
+        else:
+            grouped[key] = update(grouped[key], value)
     return [
         {**dict(zip(op.keys, key)), op.out: value} for key, value in grouped.items()
     ]

@@ -16,7 +16,7 @@ Folding rules applied (so table counts match the paper's examples):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.errors import CompilationError
 from repro.core.fields import FIELDS, FieldRegistry

@@ -11,19 +11,17 @@ adjusts the aggregates at the end of the window.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Hashable
+from typing import Hashable, Sequence
+
+import numpy as np
 
 from repro.core.errors import ResourceExhaustedError
+from repro.exec.alu import MERGE_FUNCS, UPDATE_FUNCS
 from repro.utils.hashing import HashFamily
 
-#: ALU update functions a PISA stage supports for register values.
-_UPDATE_FUNCS: dict[str, Callable[[int, int], int]] = {
-    "sum": lambda old, arg: old + arg,
-    "count": lambda old, arg: old + 1,
-    "max": max,
-    "min": min,
-    "or": lambda old, arg: old | arg,
-}
+#: ALU update functions a PISA stage supports for register values
+#: (shared with every other engine via :mod:`repro.exec.alu`).
+_UPDATE_FUNCS = UPDATE_FUNCS
 
 
 @dataclass(frozen=True)
@@ -111,6 +109,58 @@ class RegisterChain:
                 return UpdateResult(value=value, inserted=False, overflowed=False)
         self.overflows += 1
         return UpdateResult(value=0, inserted=False, overflowed=True)
+
+    def bulk_load(
+        self,
+        keys: Sequence[tuple],
+        values: "Sequence[int] | np.ndarray",
+        func: str,
+        key_columns: "list[np.ndarray] | None" = None,
+    ) -> np.ndarray:
+        """Insert whole-window aggregates for ``keys``, in order.
+
+        ``keys`` must be the window's *unique* keys in first-occurrence
+        order with ``values[j]`` the final window aggregate of ``keys[j]``;
+        walking them through the d-way chain then reproduces exactly the
+        array contents (and insertion order) of per-packet updates, because
+        arrays only fill up within a window: a key's inserted/overflowed
+        fate is decided at its first occurrence. Returns a boolean mask of
+        which keys found a slot. ``updates``/``overflows`` counters are NOT
+        touched — the caller accounts them per packet, not per key.
+
+        ``key_columns`` (one integer array per tuple element, non-negative
+        values only) enables vectorized slot-index precomputation; without
+        it indices are computed per key via :func:`stable_hash`.
+
+        If a key is already resident (a per-packet prefix ran earlier in
+        the same window), its stored value is merged with ``func``'s
+        combine semantics rather than overwritten.
+        """
+        if func not in UPDATE_FUNCS:
+            raise ResourceExhaustedError(
+                f"register ALU does not support function {func!r}"
+            )
+        merge = MERGE_FUNCS[func]
+        index_rows: "list[list[int]] | None" = None
+        if key_columns is not None and len(keys):
+            index_rows = self._hashes.indices_vec(key_columns).tolist()
+        inserted = np.zeros(len(keys), dtype=bool)
+        arrays = self._arrays
+        for j, key in enumerate(keys):
+            indices = (
+                index_rows[j] if index_rows is not None else self._hashes.indices(key)
+            )
+            for which, index in enumerate(indices):
+                slot = arrays[which].get(index)
+                if slot is None:
+                    arrays[which][index] = (key, int(values[j]))
+                    inserted[j] = True
+                    break
+                if slot[0] == key:
+                    arrays[which][index] = (key, merge(slot[1], int(values[j])))
+                    inserted[j] = True
+                    break
+        return inserted
 
     def lookup(self, key: Hashable) -> int | None:
         for which in range(self.spec.d):

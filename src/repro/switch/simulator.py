@@ -22,19 +22,37 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+import numpy as np
 
 from repro.core.errors import ResourceExhaustedError
+from repro.core.operators import Distinct, Filter, Map, Reduce
+from repro.exec import (
+    ColumnarState,
+    aggregate_groups,
+    apply_map,
+    filter_mask,
+    group_first_occurrence,
+    materialize_keys,
+    materialize_rows,
+    reduce_args,
+    running_groups,
+    threshold_mask,
+    value_mask,
+)
 from repro.obs import get_observability
-
-logger = logging.getLogger(__name__)
-from repro.core.operators import Distinct, Filter, Map, Operator, Reduce
 from repro.packets.packet import Packet
 from repro.switch.compiler import CompiledSubQuery
 from repro.switch.config import SwitchConfig
 from repro.switch.parser import ParserConfig
-from repro.switch.registers import RegisterChain, RegisterSpec
+from repro.switch.registers import RegisterChain
 from repro.switch.tables import LogicalTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.packets.trace import Trace
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -372,7 +390,11 @@ class PISASwitch:
         self.drop_rules.discard((field, value))
 
     def process_packet(self, packet: Packet) -> list[MirroredTuple]:
-        """Run one packet through every installed instance."""
+        """Run one packet through every installed instance.
+
+        This is the per-packet reference oracle; the batched window path
+        (:meth:`process_window`) must match it tuple-for-tuple.
+        """
         if self.drop_rules:
             for field, value in self.drop_rules:
                 if packet.get(field) == value:
@@ -394,8 +416,17 @@ class PISASwitch:
         inst.packets_seen += 1
         tup: dict[str, Any] = _PacketTuple(packet)
         ops = inst.compiled.subquery.operators[: inst.n_operators]
-        schemas = inst.compiled.schemas
-        i = 0
+        return self._run_chain(inst, tup, ops, inst.compiled.schemas, 0)
+
+    def _run_chain(
+        self,
+        inst: InstalledInstance,
+        tup: dict[str, Any],
+        ops,
+        schemas,
+        i: int,
+    ) -> MirroredTuple | None:
+        """Row-wise operator walk from operator ``i`` (the oracle path)."""
         while i < len(ops):
             op = ops[i]
             if isinstance(op, Filter):
@@ -476,7 +507,7 @@ class PISASwitch:
             raise ResourceExhaustedError(f"operator {op!r} cannot run on the switch")
 
         # Stateless-last instance: the surviving packet is mirrored.
-        return self._mirror_surviving(inst, packet, tup, schemas)
+        return self._mirror_surviving(inst, tup, schemas)
 
     def _forced_overflow(self, inst: InstalledInstance, op_index: int) -> bool:
         """Fault injection: pretend the whole chain collided for this update.
@@ -494,16 +525,310 @@ class PISASwitch:
         return True
 
     def _mirror_surviving(
-        self, inst: InstalledInstance, packet: Packet, tup, schemas
+        self, inst: InstalledInstance, tup, schemas
     ) -> MirroredTuple:
+        # _PacketTuple resolves "payload" to b"" for payload-less packets,
+        # so no packet-level override is needed (and mid-chain replays
+        # carry materialized payload values already).
         inst.packets_surviving += 1
         schema = schemas[inst.n_operators]
         fields = {name: tup[name] for name in schema.fields}
-        if "payload" in schema.fields:
-            fields["payload"] = packet.payload or b""
         return MirroredTuple(
             instance=inst.key, kind="stream", fields=fields, op_index=inst.n_operators
         )
+
+    # ------------------------------------------------------------------
+    # Batched data plane
+    # ------------------------------------------------------------------
+    def process_window(self, trace: "Trace") -> list[MirroredTuple]:
+        """Run one window of packets through every installed instance.
+
+        Semantically identical to calling :meth:`process_packet` on every
+        packet of ``trace`` in order and concatenating the results —
+        including register insertion order, overflow mirroring, counters
+        and report sets — but executed vectorized over the trace columns.
+        Stateful operators are simulated per *unique key* (in first-
+        occurrence order) instead of per packet: register arrays only fill
+        up within a window, so a key's inserted/overflowed fate is decided
+        at its first occurrence and its final value is the window
+        aggregate of its rows.
+
+        Forced register overflow (fault injection) draws its PRNG stream
+        once per register update in per-packet order, which cannot be
+        replayed per-key; with that channel armed the window falls back to
+        the per-packet oracle so fault schedules stay identical.
+        """
+        injector = self.fault_injector
+        if injector is not None and injector.spec.overflow_pressure:
+            out: list[MirroredTuple] = []
+            for packet in trace.packets():
+                out.extend(self.process_packet(packet))
+            return out
+
+        state = ColumnarState.from_trace(trace)
+        rows = np.arange(state.n_rows, dtype=np.int64)
+        if self.drop_rules:
+            keep = np.ones(state.n_rows, dtype=bool)
+            for field_name, value in self.drop_rules:
+                keep &= ~value_mask(state, field_name, value)
+            dropped = int(state.n_rows - int(keep.sum()))
+            if dropped:
+                self.packets_dropped += dropped
+                state = state.select(keep)
+                rows = rows[keep]
+        self.packets_processed += len(rows)
+
+        # (row, instance position) orders the batch exactly like the
+        # per-packet loop emits: all of packet i's tuples before packet
+        # i+1's, instances in installation order within a packet.
+        tagged: list[tuple[int, int, MirroredTuple]] = []
+        for pos, inst in enumerate(self.instances.values()):
+            self._process_instance_window(inst, state, rows, pos, tagged)
+        tagged.sort(key=lambda item: (item[0], item[1]))
+        self.tuples_mirrored += len(tagged)
+        return [item[2] for item in tagged]
+
+    def _process_instance_window(
+        self,
+        inst: InstalledInstance,
+        state: ColumnarState,
+        rows: np.ndarray,
+        pos: int,
+        out: list,
+    ) -> None:
+        inst.packets_seen += len(rows)
+        ops = inst.compiled.subquery.operators[: inst.n_operators]
+        schemas = inst.compiled.schemas
+        sel = rows
+        i = 0
+        while i < len(ops):
+            op = ops[i]
+            if isinstance(op, Filter):
+                if i - 1 in inst.folded_by_op:
+                    i += 1  # folded into the previous reduce's update table
+                    continue
+                mask = filter_mask(op, state, self.filter_tables)
+                if not mask.all():
+                    state = state.select(mask)
+                    sel = sel[mask]
+                i += 1
+                continue
+            if isinstance(op, Map):
+                state = apply_map(op, state)
+                i += 1
+                continue
+            if isinstance(op, Distinct):
+                cont = self._batch_distinct(inst, op, i, state, sel, pos, out, ops)
+                if cont is None:
+                    return
+                state, sel = cont
+                i += 1
+                continue
+            if isinstance(op, Reduce):
+                self._batch_reduce(inst, op, i, state, sel, pos, out, schemas)
+                return
+            raise ResourceExhaustedError(f"operator {op!r} cannot run on the switch")
+
+        # Stateless-last instance: every surviving row is mirrored.
+        n = len(sel)
+        if n == 0:
+            return
+        inst.packets_surviving += n
+        inst.tuples_mirrored += n
+        schema = schemas[inst.n_operators]
+        for row, fields in zip(sel.tolist(), materialize_rows(state, schema.fields)):
+            out.append(
+                (
+                    row,
+                    pos,
+                    MirroredTuple(
+                        instance=inst.key,
+                        kind="stream",
+                        fields=fields,
+                        op_index=inst.n_operators,
+                    ),
+                )
+            )
+
+    def _replay_rows(
+        self,
+        inst: InstalledInstance,
+        state: ColumnarState,
+        sel: np.ndarray,
+        i: int,
+        pos: int,
+        out: list,
+    ) -> None:
+        """Scalar fallback: run rows through the oracle chain from op ``i``.
+
+        Used for key shapes the int64 key matrix cannot represent
+        faithfully (float-typed key columns) — correctness first.
+        """
+        ops = inst.compiled.subquery.operators[: inst.n_operators]
+        schemas = inst.compiled.schemas
+        names = list(state.columns)
+        for row, tup in zip(sel.tolist(), materialize_rows(state, names)):
+            result = self._run_chain(inst, tup, ops, schemas, i)
+            if result is not None:
+                inst.tuples_mirrored += 1
+                out.append((row, pos, result))
+
+    @staticmethod
+    def _vector_key_columns(
+        state: ColumnarState, keys, unique: np.ndarray
+    ) -> "list[np.ndarray] | None":
+        """Key columns for vectorized hashing, or None if unsupported.
+
+        The vectorized splitmix64 path folds one 64-bit chunk per element,
+        which matches :func:`stable_hash` only for non-negative integer
+        keys; vocab-typed (string/bytes) keys hash their resolved values
+        scalar-wise instead.
+        """
+        if any(k in state.vocabs for k in keys):
+            return None
+        if unique.size and int(unique.min()) < 0:
+            return None
+        return [unique[:, j] for j in range(unique.shape[1])]
+
+    def _batch_distinct(
+        self,
+        inst: InstalledInstance,
+        op: Distinct,
+        i: int,
+        state: ColumnarState,
+        sel: np.ndarray,
+        pos: int,
+        out: list,
+        ops,
+    ) -> "tuple[ColumnarState, np.ndarray] | None":
+        schemas = inst.compiled.schemas
+        keys = op.effective_keys(schemas[i])
+        if any(state.columns[k].dtype.kind == "f" for k in keys):
+            self._replay_rows(inst, state, sel, i, pos, out)
+            return None
+        unique, first_rows, inv = group_first_occurrence(state, keys)
+        key_tuples = materialize_keys(state, keys, unique)
+        chain = inst.chains[i]
+        inserted = chain.bulk_load(
+            key_tuples,
+            np.ones(len(key_tuples), dtype=np.int64),
+            "or",
+            self._vector_key_columns(state, keys, unique),
+        )
+        chain.updates += len(sel)
+        row_overflow = ~inserted[inv] if len(sel) else np.zeros(0, dtype=bool)
+        n_over = int(row_overflow.sum())
+        if n_over:
+            chain.overflows += n_over
+            inst.tuples_mirrored += n_over
+            sel_list = sel.tolist()
+            inv_list = inv.tolist()
+            for r in np.flatnonzero(row_overflow).tolist():
+                out.append(
+                    (
+                        sel_list[r],
+                        pos,
+                        MirroredTuple(
+                            instance=inst.key,
+                            kind="overflow",
+                            fields=dict(zip(keys, key_tuples[inv_list[r]])),
+                            op_index=i,
+                        ),
+                    )
+                )
+        if i == len(ops) - 1:
+            # Last operator: report each distinct key once at window end.
+            for j, key in enumerate(key_tuples):
+                if inserted[j]:
+                    inst.reported_keys.add((i, key))
+            return None
+        # Mid-chain: only the first packet of each inserted key continues,
+        # carrying just the key fields (first_rows is ascending, so the
+        # continuation stays in packet order for later stateful ops).
+        cont = first_rows[inserted]
+        new_state = ColumnarState(
+            columns={k: state.columns[k][cont] for k in keys},
+            vocabs={k: v for k, v in state.vocabs.items() if k in keys},
+            payloads=state.payloads,
+        )
+        return new_state, sel[cont]
+
+    def _batch_reduce(
+        self,
+        inst: InstalledInstance,
+        op: Reduce,
+        i: int,
+        state: ColumnarState,
+        sel: np.ndarray,
+        pos: int,
+        out: list,
+        schemas,
+    ) -> None:
+        if any(state.columns[k].dtype.kind == "f" for k in op.keys):
+            self._replay_rows(inst, state, sel, i, pos, out)
+            return
+        func, args = reduce_args(op, state, schemas[i])
+        unique, _first_rows, inv = group_first_occurrence(state, op.keys)
+        key_tuples = materialize_keys(state, op.keys, unique)
+        values = None if func == "count" else args
+        finals = aggregate_groups(inv, values, len(key_tuples), func)
+        chain = inst.chains[i]
+        inserted = chain.bulk_load(
+            key_tuples, finals, func, self._vector_key_columns(state, op.keys, unique)
+        )
+        chain.updates += len(sel)
+        row_overflow = ~inserted[inv] if len(sel) else np.zeros(0, dtype=bool)
+        n_over = int(row_overflow.sum())
+        if n_over:
+            chain.overflows += n_over
+            inst.tuples_mirrored += n_over
+            sel_list = sel.tolist()
+            inv_list = inv.tolist()
+            args_list = args.tolist()
+            for r in np.flatnonzero(row_overflow).tolist():
+                fields = dict(zip(op.keys, key_tuples[inv_list[r]]))
+                fields[op.out] = 1 if func == "count" else args_list[r]
+                out.append(
+                    (
+                        sel_list[r],
+                        pos,
+                        MirroredTuple(
+                            instance=inst.key,
+                            kind="overflow",
+                            fields=fields,
+                            op_index=i,
+                        ),
+                    )
+                )
+        folded = inst.folded_by_op.get(i)
+        if folded is None:
+            for j, key in enumerate(key_tuples):
+                if inserted[j]:
+                    inst.reported_keys.add((i, key))
+            return
+        # Folded threshold: a key is reported iff any of its running
+        # (per-update) aggregates passes — first-crossing semantics.
+        run = running_groups(inv, values, func)
+        simple = all(
+            p.field == op.out and p.level is None and p.op in ("gt", "ge", "lt", "le")
+            for p in folded.predicates
+        )
+        if simple:
+            passing = threshold_mask(folded.predicates, run)
+            passing &= inserted[inv]
+            for j in np.unique(inv[passing]).tolist():
+                inst.reported_keys.add((i, key_tuples[j]))
+        else:  # pragma: no cover - compiler folds only simple thresholds
+            run_list = run.tolist()
+            inv_list = inv.tolist()
+            for r in range(len(sel)):
+                j = inv_list[r]
+                if not inserted[j]:
+                    continue
+                probe = dict(zip(op.keys, key_tuples[j]))
+                probe[op.out] = run_list[r]
+                if all(p.evaluate(probe) for p in folded.predicates):
+                    inst.reported_keys.add((i, key_tuples[j]))
 
     # ------------------------------------------------------------------
     # Window lifecycle

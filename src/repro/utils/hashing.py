@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+import numpy as np
+
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 
 # Odd 64-bit constants from the splitmix64 reference implementation.
@@ -25,6 +27,23 @@ def _splitmix64(value: int) -> int:
     value = ((value ^ (value >> 30)) * _MIX1) & _MASK64
     value = ((value ^ (value >> 27)) * _MIX2) & _MASK64
     return value ^ (value >> 31)
+
+
+# uint64 copies of the mix constants for the vectorized twin below.
+_GAMMA_U = np.uint64(_GAMMA)
+_MIX1_U = np.uint64(_MIX1)
+_MIX2_U = np.uint64(_MIX2)
+_S30 = np.uint64(30)
+_S27 = np.uint64(27)
+_S31 = np.uint64(31)
+
+
+def _splitmix64_vec(value: np.ndarray) -> np.ndarray:
+    """splitmix64 over a uint64 array; bit-identical to :func:`_splitmix64`."""
+    value = value + _GAMMA_U
+    value = (value ^ (value >> _S30)) * _MIX1_U
+    value = (value ^ (value >> _S27)) * _MIX2_U
+    return value ^ (value >> _S31)
 
 
 def stable_hash(key: int | bytes | str | tuple, seed: int = 0) -> int:
@@ -96,3 +115,28 @@ class HashFamily:
     def indices(self, key: int | bytes | str | tuple) -> list[int]:
         """Return the slot index of ``key`` under every function in order."""
         return [self.index(i, key) for i in range(self.d)]
+
+    def indices_vec(self, key_columns: "list[np.ndarray]") -> np.ndarray:
+        """Slot indices for a batch of tuple keys, one column per element.
+
+        Row ``i`` of the result holds ``self.indices(key_i)`` for the key
+        ``(key_columns[0][i], ..., key_columns[k-1][i])`` — bit-identical
+        to hashing the tuple of Python ints through :func:`stable_hash`,
+        provided every element is a non-negative integer below 2**63
+        (one splitmix chunk per element; the caller checks this).
+        """
+        n = len(key_columns[0]) if key_columns else 0
+        cols = [np.asarray(col).astype(np.uint64) for col in key_columns]
+        out = np.empty((n, self.d), dtype=np.int64)
+        tag = 0x7461706C65  # tuple tag, mirrors _iter_chunks
+        length = len(key_columns)
+        n_slots = np.uint64(self.n_slots)
+        for which, seed in enumerate(self._seeds):
+            state = _splitmix64(seed ^ 0xA5A5A5A5A5A5A5A5)
+            state = _splitmix64(state ^ tag)
+            state = _splitmix64(state ^ length)
+            vec = np.full(n, state, dtype=np.uint64)
+            for col in cols:
+                vec = _splitmix64_vec(vec ^ col)
+            out[:, which] = (vec % n_slots).astype(np.int64)
+        return out

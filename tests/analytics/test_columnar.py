@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.analytics import execute_operators, execute_query, execute_subquery
 from repro.core.errors import QueryValidationError
-from repro.core.expressions import Const, Prefixed, Quantized, Ratio
+from repro.core.expressions import Const, Prefixed, Quantized
 from repro.core.fields import TCP_SYN
 from repro.core.operators import Distinct, Filter, Join, Map, Predicate, Reduce
 from repro.core.query import PacketStream, Query

@@ -1,6 +1,5 @@
 """Tests for the Table 3 lines-of-code regeneration."""
 
-import pytest
 
 from repro.evaluation.loc import p4_loc, sonata_loc, spark_loc, table3_loc
 from repro.queries.library import QUERY_LIBRARY, build_query

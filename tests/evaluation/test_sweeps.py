@@ -12,7 +12,7 @@ from repro.evaluation.sweeps import (
     figure7b_multi_query,
     figure8_constraints,
 )
-from repro.switch.config import MB, SwitchConfig
+from repro.switch.config import MB
 
 
 @pytest.fixture(scope="module")

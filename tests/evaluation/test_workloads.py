@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.evaluation.workloads import build_workload
-from repro.queries.library import QUERY_LIBRARY, TOP8
+from repro.queries.library import TOP8
 
 
 class TestBuildWorkload:

@@ -1,0 +1,374 @@
+"""Differential tests: the batched window engine vs the per-packet oracle.
+
+``PISASwitch.process_window`` promises *exact* per-packet semantics — not
+just the same final aggregates but the same mirrored tuples in the same
+order, the same register insertion fates under overflow, the same
+first-crossing threshold reports and the same fault-injector RNG
+consumption. These tests enforce that promise three ways:
+
+1. a Hypothesis fuzz over random operator chains, random traces and
+   deliberately undersized registers, comparing both switch paths
+   tuple-for-tuple (plus rowops and the columnar kernels where the chain
+   is overflow-free);
+2. a full-pipeline differential across every Table-3 query library
+   entry, running ``SonataRuntime`` with ``engine="rowwise"`` and
+   ``engine="batched"`` and requiring identical window reports; and
+3. the same pipeline differential under active fault injection.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analytics import execute_operators
+from repro.core.expressions import Const, FieldRef, Prefixed, Quantized
+from repro.core.operators import Distinct, Filter, Map, Predicate, Reduce
+from repro.core.query import PacketStream, Query
+from repro.evaluation.workloads import build_workload
+from repro.faults import FaultSpec
+from repro.packets.packet import Packet
+from repro.packets.trace import Trace
+from repro.planner import QueryPlanner
+from repro.queries.library import QUERY_LIBRARY, build_queries
+from repro.runtime import SonataRuntime
+from repro.streaming.rowops import apply_operators
+from repro.switch import PISASwitch, SwitchConfig, compile_subquery
+
+# -- chain shapes -----------------------------------------------------------
+# Each shape builds a random linear chain from drawn parameters. All use
+# registry fields so every engine resolves them identically.
+
+
+def _shape_threshold(p):
+    return (
+        Filter((Predicate("tcp.dPort", "eq", p["dport"]),)),
+        Map(
+            keys=(
+                Prefixed("ipv4.dIP", p["level"]),
+                Quantized("pktlen", p["step"], "bucket"),
+            ),
+            values=(Const(1),),
+        ),
+        Reduce(keys=("ipv4.dIP", "bucket"), func="sum"),
+        Filter((Predicate("count", "gt", p["threshold"]),)),
+    )
+
+
+def _shape_distinct_mid(p):
+    return (
+        Map(keys=(FieldRef("ipv4.dIP"), FieldRef("ipv4.sIP"))),
+        Distinct(),
+        Map(keys=(FieldRef("ipv4.dIP"),), values=(Const(1),)),
+        Reduce(keys=("ipv4.dIP",), func="sum"),
+    )
+
+
+def _shape_distinct_last(p):
+    return (
+        Map(
+            keys=(
+                Prefixed("ipv4.sIP", p["level"]),
+                Quantized("pktlen", p["step"], "bucket"),
+            )
+        ),
+        Distinct(keys=("ipv4.sIP", "bucket")),
+    )
+
+
+def _shape_reduce_max(p):
+    return (
+        Map(
+            keys=(FieldRef("ipv4.sIP"),),
+            values=(FieldRef("pktlen", rename="len"),),
+        ),
+        Reduce(keys=("ipv4.sIP",), func="max", value_field="len", out="maxlen"),
+        Filter((Predicate("maxlen", "ge", p["value_threshold"]),)),
+    )
+
+
+def _shape_stream(p):
+    return (
+        Filter((Predicate("ipv4.proto", "eq", 17),)),
+        Map(keys=(FieldRef("ipv4.dIP"), FieldRef("tcp.dPort"))),
+    )
+
+
+SHAPES = [
+    _shape_threshold,
+    _shape_distinct_mid,
+    _shape_distinct_last,
+    _shape_reduce_max,
+    _shape_stream,
+]
+
+ROW_FIELDS = {
+    "tcp.dPort": "dport",
+    "ipv4.dIP": "dip",
+    "ipv4.sIP": "sip",
+    "ipv4.proto": "proto",
+    "pktlen": "pktlen",
+}
+
+packets_strategy = st.lists(
+    st.builds(
+        Packet,
+        ts=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        pktlen=st.integers(min_value=40, max_value=1500),
+        proto=st.sampled_from([6, 17]),
+        sip=st.integers(min_value=0, max_value=0xFF),
+        dip=st.integers(min_value=0, max_value=0xFFFF).map(lambda v: v << 8),
+        sport=st.integers(min_value=1, max_value=100),
+        dport=st.sampled_from([22, 53, 80, 443]),
+        tcpflags=st.sampled_from([0x02, 0x10, 0x12, 0x18]),
+    ),
+    min_size=0,
+    max_size=80,
+)
+
+params_strategy = st.builds(
+    dict,
+    shape=st.integers(min_value=0, max_value=len(SHAPES) - 1),
+    dport=st.sampled_from([22, 80, 443]),
+    level=st.sampled_from([8, 16, 24, 32]),
+    step=st.sampled_from([16, 64, 256]),
+    threshold=st.integers(min_value=0, max_value=5),
+    value_threshold=st.integers(min_value=40, max_value=1400),
+)
+
+register_strategy = st.builds(
+    dict,
+    n_slots=st.sampled_from([2, 8, 64, 4096]),
+    d=st.sampled_from([1, 2, 3]),
+)
+
+
+def _make_switch(ops, n_slots, d):
+    config = SwitchConfig.paper_default()
+    switch = PISASwitch(config)
+    stream = PacketStream(name="prop", qid=999)
+    stream.operators = tuple(ops)
+    compiled = compile_subquery(Query(stream).subquery(0))
+    from repro.switch.registers import RegisterSpec
+
+    cut = compiled.compilable_operators
+    sized = [
+        t.sized(
+            RegisterSpec(
+                name=t.register.name,
+                n_slots=n_slots,
+                d=d,
+                key_bits=t.register.key_bits,
+                value_bits=t.register.value_bits,
+            )
+        )
+        if t.stateful
+        else t
+        for t in compiled.tables_for_partition(cut)
+    ]
+    switch.install("prop", compiled, cut, sized_tables=sized)
+    return switch
+
+
+def _run_switch(ops, trace, n_slots, d, batched):
+    switch = _make_switch(ops, n_slots, d)
+    if batched:
+        batch = switch.process_window(trace)
+    else:
+        batch = []
+        for pkt in trace.packets():
+            batch.extend(switch.process_packet(pkt))
+    reports = switch.end_window()["prop"]
+    stats = {
+        "processed": switch.packets_processed,
+        "dropped": switch.packets_dropped,
+        "mirrored": switch.tuples_mirrored,
+        "overflow": switch.window_overflow_stats,
+        "per_instance": {
+            k: (i.packets_seen, i.packets_surviving, i.tuples_mirrored)
+            for k, i in switch.instances.items()
+        },
+    }
+    return batch, reports, stats
+
+
+def _canon(rows):
+    return sorted(tuple(sorted(r.items())) for r in rows)
+
+
+class TestFuzzBatchedOracle:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        packets=packets_strategy,
+        params=params_strategy,
+        register=register_strategy,
+    )
+    def test_batched_matches_per_packet_exactly(self, packets, params, register):
+        """Both switch paths agree tuple-for-tuple under any overflow regime."""
+        ops = SHAPES[params["shape"]](params)
+        trace = Trace.from_packets(packets)
+        row_batch, row_reports, row_stats = _run_switch(
+            ops, trace, register["n_slots"], register["d"], batched=False
+        )
+        bat_batch, bat_reports, bat_stats = _run_switch(
+            ops, trace, register["n_slots"], register["d"], batched=True
+        )
+        assert row_stats == bat_stats
+        assert len(row_batch) == len(bat_batch)
+        for a, b in zip(row_batch, bat_batch):
+            assert (a.instance, a.kind, a.op_index, a.fields) == (
+                b.instance, b.kind, b.op_index, b.fields,
+            )
+        assert len(row_reports) == len(bat_reports)
+        for a, b in zip(row_reports, bat_reports):
+            assert (a.kind, a.op_index, a.fields) == (b.kind, b.op_index, b.fields)
+
+    @settings(max_examples=30, deadline=None)
+    @given(packets=packets_strategy, params=params_strategy)
+    def test_four_engines_agree_without_overflow(self, packets, params):
+        """With generous registers, rowops, columnar and both switch paths
+        produce the same final rows."""
+        ops = SHAPES[params["shape"]](params)
+        trace = Trace.from_packets(packets)
+
+        columnar = execute_operators(ops, trace).rows()
+        row_inputs = [
+            {name: getattr(p, attr) for name, attr in ROW_FIELDS.items()}
+            for p in packets
+        ]
+        rowwise = apply_operators(row_inputs, list(ops))
+        expected = _canon(columnar)
+        assert expected == _canon(rowwise)
+
+        for batched in (False, True):
+            batch, reports, _ = _run_switch(ops, trace, 4096, 2, batched=batched)
+            rows = [m.fields for m in batch if m.kind == "stream"]
+            rows += [m.fields for m in reports]
+            assert expected == _canon(rows), f"batched={batched}"
+
+
+# -- full-pipeline differential over the Table-3 query library --------------
+
+
+def _window_digest(report):
+    return [
+        (
+            w.index,
+            w.packets,
+            w.tuples_to_sp,
+            {qid: _canon(rows) for qid, rows in w.detections.items()},
+            w.tuples_per_instance,
+            w.overflow_stats,
+            w.degraded,
+        )
+        for w in report.windows
+    ]
+
+
+def _run_engine(planner, trace, engine, faults=None):
+    return SonataRuntime(
+        planner.plan("sonata"), faults=faults, engine=engine
+    ).run(trace)
+
+
+@pytest.mark.parametrize("name", sorted(QUERY_LIBRARY))
+def test_library_query_differential(name):
+    workload = build_workload([name], duration=9.0, pps=1_000, seed=13)
+    planner = QueryPlanner(
+        build_queries([name]), workload.trace, window=3.0, time_limit=20
+    )
+    rowwise = _run_engine(planner, workload.trace, "rowwise")
+    batched = _run_engine(planner, workload.trace, "batched")
+    assert _window_digest(rowwise) == _window_digest(batched)
+
+
+@pytest.mark.parametrize(
+    "faults",
+    [
+        FaultSpec(seed=11, mirror_drop=0.2, mirror_duplicate=0.1, mirror_reorder=0.1),
+        FaultSpec(seed=5, overflow_pressure=0.3),
+        FaultSpec(seed=9, mirror_drop=0.15, overflow_pressure=0.2, late_drop=0.1),
+    ],
+    ids=["mirror-faults", "overflow-pressure", "combined"],
+)
+def test_fault_injection_differential(faults):
+    """Fault RNG streams are consumed identically by both engines."""
+    workload = build_workload(["ddos"], duration=9.0, pps=1_000, seed=29)
+    planner = QueryPlanner(
+        build_queries(["ddos"]), workload.trace, window=3.0, time_limit=20
+    )
+    rowwise = _run_engine(planner, workload.trace, "rowwise", faults=faults)
+    batched = _run_engine(planner, workload.trace, "batched", faults=faults)
+    assert _window_digest(rowwise) == _window_digest(batched)
+
+
+# -- vectorized hashing / bulk register loads -------------------------------
+
+
+class TestVectorizedRegisters:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        keys=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**32 - 1),
+                st.integers(min_value=0, max_value=255),
+            ),
+            min_size=0,
+            max_size=200,
+        ),
+        d=st.integers(min_value=1, max_value=4),
+    )
+    def test_indices_vec_matches_scalar(self, keys, d):
+        from repro.utils.hashing import HashFamily
+
+        family = HashFamily(d, 64, seed=3)
+        columns = [
+            np.array([k[0] for k in keys], dtype=np.int64),
+            np.array([k[1] for k in keys], dtype=np.int64),
+        ]
+        vec = family.indices_vec(columns)
+        assert vec.shape == (len(keys), d)
+        for j, key in enumerate(keys):
+            assert list(vec[j]) == list(family.indices(key))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        updates=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=15),
+                st.integers(min_value=1, max_value=9),
+            ),
+            min_size=0,
+            max_size=120,
+        ),
+        n_slots=st.sampled_from([2, 4, 64]),
+        func=st.sampled_from(["sum", "count", "max", "min", "or"]),
+    )
+    def test_bulk_load_matches_per_packet_updates(self, updates, n_slots, func):
+        """bulk_load of first-occurrence-ordered window aggregates leaves
+        the chain in exactly the per-packet end state."""
+        from repro.exec.alu import UPDATE_FUNCS, init_value
+        from repro.switch.registers import RegisterChain, RegisterSpec
+
+        spec = RegisterSpec(name="t", n_slots=n_slots, d=2, key_bits=32)
+        oracle = RegisterChain(spec)
+        for key, arg in updates:
+            oracle.update((key,), func, arg)
+
+        # Window aggregates per unique key, in first-occurrence order —
+        # only counting updates that the oracle accepted (non-overflowed).
+        order: list[tuple] = []
+        finals: dict[tuple, int] = {}
+        for key, arg in updates:
+            k = (key,)
+            if oracle.lookup(k) is None:
+                continue  # the whole chain collided for this key
+            if k not in finals:
+                order.append(k)
+                finals[k] = init_value(func, arg)
+            else:
+                finals[k] = UPDATE_FUNCS[func](finals[k], arg)
+
+        loaded = RegisterChain(spec)
+        inserted = loaded.bulk_load(order, [finals[k] for k in order], func)
+        assert inserted.all()
+        assert loaded.dump() == oracle.dump()

@@ -1,6 +1,5 @@
 """Property tests for topology assignment."""
 
-import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.network.topology import Topology, hash_ingress, prefix_ingress

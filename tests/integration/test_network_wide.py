@@ -5,7 +5,7 @@ import pytest
 
 from repro.evaluation.workloads import build_workload
 from repro.network import NetworkRuntime, Topology
-from repro.network.topology import hash_ingress, prefix_ingress
+from repro.network.topology import prefix_ingress
 from repro.queries.library import build_queries
 
 

@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.analytics import execute_query, execute_subquery
+from repro.analytics import execute_query
 from repro.core.errors import PlanningError, QueryValidationError
-from repro.packets import BackboneConfig, Trace, generate_backbone
+from repro.packets import Trace
 from repro.packets.packet import Packet
 from repro.planner import QueryPlanner
 from repro.queries.library import build_query

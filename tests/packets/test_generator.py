@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro.core.fields import PROTO_TCP, PROTO_UDP, TCP_ACK, TCP_SYN, TCP_SYNACK
+from repro.core.fields import PROTO_TCP, PROTO_UDP, TCP_SYN, TCP_SYNACK
 from repro.packets.generator import BackboneConfig, generate_backbone
 
 

@@ -7,7 +7,6 @@ import pytest
 from repro.core.errors import TraceFormatError
 from repro.packets.packet import DNSInfo, Packet
 from repro.packets.pcap import build_frame, parse_frame, read_pcap, write_pcap
-from repro.packets.trace import Trace
 
 
 def sample_packets():

@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.errors import TraceFormatError
 from repro.packets.packet import DNSInfo, Packet
-from repro.packets.trace import TRACE_DTYPE, Trace
+from repro.packets.trace import Trace
 
 
 def make_packets(n=10):

@@ -6,11 +6,10 @@ cut per transition) under a resource-rich switch. Any gap means a bug in
 the flow-conservation or objective encoding.
 """
 
-import itertools
 
 from hypothesis import given, settings, strategies as st
 
-from repro.packets import Trace, attacks
+from repro.packets import attacks
 from repro.planner.costs import CostEstimator, CutCost
 from repro.planner.ilp import PlanILP
 from repro.planner.refinement import ROOT_LEVEL, RefinementSpec

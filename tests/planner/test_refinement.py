@@ -5,7 +5,7 @@ import pytest
 from repro.core.errors import PlanningError
 from repro.core.expressions import Const, Prefixed
 from repro.core.fields import TCP_SYN
-from repro.core.operators import Filter, Map, Predicate
+from repro.core.operators import Filter, Map
 from repro.core.query import PacketStream, Query
 from repro.planner.refinement import (
     ROOT_LEVEL,

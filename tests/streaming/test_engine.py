@@ -5,7 +5,7 @@ import pytest
 from repro.core.errors import PlanningError
 from repro.core.expressions import Const, Ratio
 from repro.core.fields import TCP_SYN
-from repro.core.operators import Filter, Predicate, Reduce
+from repro.core.operators import Filter, Predicate
 from repro.core.query import PacketStream, Query
 from repro.streaming.engine import StreamProcessor
 

@@ -6,7 +6,7 @@ from repro.queries.library import QUERY_LIBRARY, build_query
 from repro.planner.collisions import size_register
 from repro.switch.compiler import compile_subquery
 from repro.switch.config import SwitchConfig
-from repro.switch.p4gen import P4Generator, generate_p4
+from repro.switch.p4gen import generate_p4
 
 
 def compiled_instances(name, qid):
@@ -80,7 +80,7 @@ class TestGeneration:
     def test_loc_scales_with_query_complexity(self):
         def loc(name, qid):
             program = generate_p4(compiled_instances(name, qid))
-            return sum(1 for l in program.splitlines() if l.strip())
+            return sum(1 for line in program.splitlines() if line.strip())
 
         assert loc("slowloris", 820) > loc("newly_opened_tcp_conns", 821)
 

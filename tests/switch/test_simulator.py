@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.errors import ResourceExhaustedError
-from repro.core.expressions import Const, Quantized
+from repro.core.expressions import Const
 from repro.core.fields import TCP_SYN
 from repro.core.query import PacketStream, Query
 from repro.analytics import execute_subquery
@@ -187,7 +187,6 @@ class TestSemantics:
 
     def test_distinct_gates_downstream(self):
         from repro.packets.packet import Packet
-        from repro.packets.trace import Trace
 
         stream = (
             PacketStream(name="dd", qid=2)
