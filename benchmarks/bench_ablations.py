@@ -19,6 +19,7 @@ import pytest
 from benchmarks.conftest import format_table, write_result
 from repro.evaluation.workloads import build_workload
 from repro.network import NetworkRuntime, Topology
+from repro.parallel import default_workers, parallel_map
 from repro.planner import QueryPlanner
 from repro.planner.costs import CostEstimator
 from repro.planner.ilp import PlanILP
@@ -41,24 +42,29 @@ def bench_ablation_chain_depth(benchmark, workload):
     """Register chain depth: overflow tuples and memory per d."""
     query = build_query("newly_opened_tcp_conns", qid=1)
 
+    def cell(d):
+        estimator = CostEstimator(
+            [query], workload.trace, window=3.0, chain_depth=d
+        )
+        costs = estimator.estimate()
+        plan = PlanILP(costs, SwitchConfig.paper_default(), mode="max_dp").solve()
+        runtime = SonataRuntime(plan)
+        report = runtime.run(workload.trace)
+        bits = sum(
+            t.register_bits
+            for inst in plan.all_instances()
+            for t in inst.tables
+            if t.stateful
+        )
+        return [d, report.total_tuples, bits]
+
     def sweep():
-        rows = []
-        for d in (1, 2, 3, 4):
-            estimator = CostEstimator(
-                [query], workload.trace, window=3.0, chain_depth=d
-            )
-            costs = estimator.estimate()
-            plan = PlanILP(costs, SwitchConfig.paper_default(), mode="max_dp").solve()
-            runtime = SonataRuntime(plan)
-            report = runtime.run(workload.trace)
-            bits = sum(
-                t.register_bits
-                for inst in plan.all_instances()
-                for t in inst.tables
-                if t.stateful
-            )
-            rows.append([d, report.total_tuples, bits])
-        return rows
+        # Depths are independent cells: fan them over worker processes
+        # when the host has the cores (REPRO_WORKERS overrides).
+        return parallel_map(
+            cell, (1, 2, 3, 4),
+            workers=default_workers(), label="ablation_chain_depth",
+        )
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     table = format_table(["d", "tuples to SP (run)", "register bits"], rows)
@@ -77,24 +83,25 @@ def bench_ablation_threshold_relaxation(benchmark, workload):
         max_single_register_bits=60 * KB,
     )
 
-    def compare():
-        rows = []
-        for relax in (True, False):
-            costs = CostEstimator(
-                queries, workload.trace, window=3.0, relax_thresholds=relax
-            ).estimate()
-            plan = PlanILP(costs, config, mode="fix_ref").solve()
-            from repro.evaluation.measure import evaluate_plan
+    def cell(relax):
+        costs = CostEstimator(
+            queries, workload.trace, window=3.0, relax_thresholds=relax
+        ).estimate()
+        plan = PlanILP(costs, config, mode="fix_ref").solve()
+        from repro.evaluation.measure import evaluate_plan
 
-            measured = evaluate_plan(plan, workload.trace, 3.0)
-            rows.append(
-                [
-                    "relaxed" if relax else "original",
-                    f"{plan.est_total_tuples:.0f}",
-                    measured.total_tuples(skip_windows=2),
-                ]
-            )
-        return rows
+        measured = evaluate_plan(plan, workload.trace, 3.0)
+        return [
+            "relaxed" if relax else "original",
+            f"{plan.est_total_tuples:.0f}",
+            measured.total_tuples(skip_windows=2),
+        ]
+
+    def compare():
+        return parallel_map(
+            cell, (True, False),
+            workers=default_workers(), label="ablation_relaxation",
+        )
 
     rows = benchmark.pedantic(compare, rounds=1, iterations=1)
     table = format_table(
@@ -133,31 +140,32 @@ def bench_ablation_network_threshold_scaling(benchmark):
     queries = build_queries(names)
     topology = Topology.ecmp(4, seed=3)
 
+    def cell(scaled):
+        net = NetworkRuntime(
+            queries, topology, workload.trace, window=3.0,
+            local_threshold_scale=scaled, time_limit=10,
+        )
+        report = net.run(workload.trace)
+        hits = sum(
+            1
+            for qid, name in enumerate(names, start=1)
+            if any(
+                row.get("ipv4.dIP") == workload.victims[name]
+                for _, q, row in report.detections()
+                if q == qid
+            )
+        )
+        return [
+            "scaled Th/n" if scaled else "exact (no local Th)",
+            report.total_collector_tuples,
+            f"{hits}/{len(names)}",
+        ]
+
     def compare():
-        rows = []
-        for scaled in (True, False):
-            net = NetworkRuntime(
-                queries, topology, workload.trace, window=3.0,
-                local_threshold_scale=scaled, time_limit=10,
-            )
-            report = net.run(workload.trace)
-            hits = sum(
-                1
-                for qid, name in enumerate(names, start=1)
-                if any(
-                    row.get("ipv4.dIP") == workload.victims[name]
-                    for _, q, row in report.detections()
-                    if q == qid
-                )
-            )
-            rows.append(
-                [
-                    "scaled Th/n" if scaled else "exact (no local Th)",
-                    report.total_collector_tuples,
-                    f"{hits}/{len(names)}",
-                ]
-            )
-        return rows
+        return parallel_map(
+            cell, (True, False),
+            workers=default_workers(), label="ablation_network_scaling",
+        )
 
     rows = benchmark.pedantic(compare, rounds=1, iterations=1)
     table = format_table(

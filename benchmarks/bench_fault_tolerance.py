@@ -23,6 +23,7 @@ from benchmarks.conftest import format_table, write_result
 from repro.evaluation.workloads import build_workload
 from repro.faults import DegradationPolicy, FaultSpec
 from repro.network import NetworkRuntime, Topology
+from repro.parallel import default_workers, parallel_map
 from repro.planner import QueryPlanner
 from repro.queries.library import build_queries
 from repro.runtime import SonataRuntime
@@ -80,29 +81,31 @@ def bench_fault_tolerance_sweep(benchmark, workload, plan):
     baseline = SonataRuntime(plan).run(workload.trace)
     truth = detection_triples(baseline)
 
+    def cell(rate):
+        spec = chaos_spec(rate)
+        runtime = SonataRuntime(
+            plan,
+            faults=spec,
+            degradation=DegradationPolicy(fallback_overflow_threshold=0.5),
+        )
+        report = runtime.run(workload.trace)
+        precision, recall = precision_recall(truth, detection_triples(report))
+        injected = sum(report.total_faults().values())
+        return [
+            f"{rate:.2f}",
+            f"{precision:.3f}",
+            f"{recall:.3f}",
+            injected,
+            len(report.degraded_windows),
+            report.total_tuples,
+        ]
+
     def sweep():
-        rows = []
-        for rate in RATES:
-            spec = chaos_spec(rate)
-            runtime = SonataRuntime(
-                plan,
-                faults=spec,
-                degradation=DegradationPolicy(fallback_overflow_threshold=0.5),
-            )
-            report = runtime.run(workload.trace)
-            precision, recall = precision_recall(truth, detection_triples(report))
-            injected = sum(report.total_faults().values())
-            rows.append(
-                [
-                    f"{rate:.2f}",
-                    f"{precision:.3f}",
-                    f"{recall:.3f}",
-                    injected,
-                    len(report.degraded_windows),
-                    report.total_tuples,
-                ]
-            )
-        return rows
+        # Each rate replays independently (fresh runtime, seeded fault
+        # streams), so the chaos ladder fans across worker processes.
+        return parallel_map(
+            cell, RATES, workers=default_workers(), label="fault_sweep"
+        )
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     table = format_table(
@@ -159,33 +162,34 @@ def bench_fault_tolerance_quorum(benchmark, workload):
         ("timeouts", FaultSpec(seed=3, collector_timeout=0.3)),
     ]
 
+    def cell(scenario):
+        label, spec = scenario
+        net = NetworkRuntime(
+            queries,
+            Topology.ecmp(3, seed=9),
+            workload.trace,
+            window=3.0,
+            time_limit=10,
+            faults=spec,
+        )
+        report = net.run(workload.trace)
+        victims_found = sum(
+            1
+            for qid, name in enumerate(QUERY_NAMES, start=1)
+            if any(
+                row.get(KEY_FIELD) == workload.victims[name]
+                for _, q, row in report.detections()
+                if q == qid
+            )
+        )
+        missing = sum(len(w.missing_switches) for w in report.windows)
+        return [label, victims_found, len(QUERY_NAMES), missing,
+                len(report.degraded_windows)]
+
     def sweep():
-        rows = []
-        for label, spec in scenarios:
-            net = NetworkRuntime(
-                queries,
-                Topology.ecmp(3, seed=9),
-                workload.trace,
-                window=3.0,
-                time_limit=10,
-                faults=spec,
-            )
-            report = net.run(workload.trace)
-            victims_found = sum(
-                1
-                for qid, name in enumerate(QUERY_NAMES, start=1)
-                if any(
-                    row.get(KEY_FIELD) == workload.victims[name]
-                    for _, q, row in report.detections()
-                    if q == qid
-                )
-            )
-            missing = sum(len(w.missing_switches) for w in report.windows)
-            rows.append(
-                [label, victims_found, len(QUERY_NAMES), missing,
-                 len(report.degraded_windows)]
-            )
-        return rows
+        return parallel_map(
+            cell, scenarios, workers=default_workers(), label="fault_quorum"
+        )
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     table = format_table(

@@ -158,6 +158,72 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_network(args, trace, queries, names, faults, degradation, obs) -> int:
+    """``repro run --switches N``: network-wide execution path."""
+    from repro.network import NetworkRuntime, Topology
+    from repro.parallel import default_workers
+    from repro.queries.library import QUERY_LIBRARY
+
+    if args.ingress == "prefix":
+        topology = Topology.by_source_prefix(args.switches)
+    else:
+        topology = Topology.ecmp(args.switches)
+    workers = args.workers if args.workers is not None else default_workers()
+    net = NetworkRuntime(
+        queries,
+        topology,
+        trace,
+        window=args.window,
+        mode=args.mode,
+        time_limit=args.time_limit,
+        faults=faults,
+        degradation=degradation,
+        obs=obs,
+        engine=args.engine,
+        workers=workers,
+    )
+    report = net.run(trace)
+    print(
+        f"network run: {args.switches} switches ({args.ingress} ingress), "
+        f"{workers} worker(s)"
+    )
+    print("window  sw-tuples  collector  detections")
+    for window in report.windows:
+        labels = []
+        for qid, name in enumerate(names, start=1):
+            spec = QUERY_LIBRARY.get(name)
+            fld = spec.victim_field if spec else "ipv4.dIP"
+            for row in window.detections.get(qid, []):
+                value = row.get(fld)
+                labels.append(
+                    f"{name}:{format_ip(value) if isinstance(value, int) else value}"
+                )
+        degraded = "  [degraded]" if window.degraded else ""
+        print(
+            f"{window.index:>6}  {window.total_switch_tuples:>9}  "
+            f"{window.collector_tuples:>9}  "
+            + (", ".join(labels) or "-")
+            + degraded
+        )
+    print(
+        f"total: {report.total_switch_tuples} switch tuples, "
+        f"{report.total_collector_tuples} collector tuples"
+    )
+    if report.degraded_windows:
+        print(f"degraded windows: {report.degraded_windows}")
+    if obs.enabled:
+        from repro.obs.exporters import print_summary, write_metrics, write_trace_jsonl
+
+        if args.metrics_out:
+            write_metrics(report.metrics, args.metrics_out)
+            logger.info("wrote Prometheus snapshot to %s", args.metrics_out)
+        if args.trace_out:
+            written = write_trace_jsonl(obs, args.trace_out)
+            logger.info("wrote %d trace records to %s", written, args.trace_out)
+        print_summary(obs)
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.obs import NULL_OBS, Observability, set_observability
     from repro.planner import QueryPlanner
@@ -172,10 +238,6 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     trace = Trace.load(args.trace)
     names, queries = _load_queries(args.queries, args.window, args.query_file)
-    planner = QueryPlanner(
-        queries, trace, window=args.window, time_limit=args.time_limit
-    )
-    plan = planner.plan(args.mode)
     faults = degradation = None
     if args.faults or args.fallback_threshold is not None:
         from repro.core.errors import PlanningError
@@ -189,7 +251,18 @@ def cmd_run(args: argparse.Namespace) -> int:
             )
         except PlanningError as exc:
             raise SystemExit(f"--faults: {exc}") from None
+    if args.switches > 1:
+        try:
+            return _run_network(
+                args, trace, queries, names, faults, degradation, obs
+            )
+        finally:
+            set_observability(None)
     try:
+        planner = QueryPlanner(
+            queries, trace, window=args.window, time_limit=args.time_limit
+        )
+        plan = planner.plan(args.mode)
         report = SonataRuntime(
             plan,
             faults=faults,
@@ -420,6 +493,29 @@ def build_parser() -> argparse.ArgumentParser:
         default="batched",
         help="data-plane execution engine: vectorized window batches "
         "(default) or the per-packet reference interpreter",
+    )
+    run.add_argument(
+        "--switches",
+        type=int,
+        default=1,
+        metavar="N",
+        help="simulate N border switches network-wide (default 1: a "
+        "single-switch pipeline)",
+    )
+    run.add_argument(
+        "--ingress",
+        choices=["ecmp", "prefix"],
+        default="ecmp",
+        help="traffic-to-switch assignment for --switches > 1: 5-tuple "
+        "hashing (ecmp) or source-prefix stickiness (prefix)",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for network-wide execution (default: "
+        "REPRO_WORKERS, else cpu count; 1 = serial)",
     )
     run.set_defaults(func=cmd_run)
 

@@ -15,6 +15,7 @@ from typing import Iterable
 from repro.core.query import Query
 from repro.evaluation.measure import PlanMeasurement, evaluate_plan
 from repro.evaluation.workloads import Workload, build_workload
+from repro.parallel import parallel_map
 from repro.planner.costs import CostEstimator, QueryCosts
 from repro.planner.ilp import PlanILP
 from repro.queries.library import TOP8, build_queries
@@ -82,27 +83,42 @@ class SweepContext:
     def measure(self, plan) -> PlanMeasurement:
         return evaluate_plan(plan, self.workload.trace, self.window)
 
+    def cell(
+        self,
+        mode: str,
+        config: SwitchConfig,
+        qids: "Iterable[int] | None" = None,
+    ) -> int:
+        """One sweep cell: plan under ``config`` and measure SP tuples."""
+        plan = self.plan(mode, config, qids=qids)
+        return self.measure(plan).total_tuples(
+            skip_windows=self.warmup_windows
+        )
+
 
 def figure7a_single_query(
     context: SweepContext | None = None,
     config: SwitchConfig | None = None,
     modes: tuple[str, ...] = ALL_MODES,
+    workers: "int | None" = None,
 ) -> dict[str, dict[str, int]]:
     """Figure 7a: per-query tuples at the SP, one query at a time.
 
-    Returns ``{query_name: {mode: total_tuples}}``.
+    Returns ``{query_name: {mode: total_tuples}}``. Cells (query × mode)
+    are independent — ``workers`` fans them over a process pool.
     """
     context = context or SweepContext.build()
     config = config or SwitchConfig.paper_default()
+    cells = [(query, mode) for query in context.queries for mode in modes]
+    totals = parallel_map(
+        lambda cell: context.cell(cell[1], config, qids=[cell[0].qid]),
+        cells,
+        workers=workers,
+        label="figure7a",
+    )
     out: dict[str, dict[str, int]] = {}
-    for query in context.queries:
-        row: dict[str, int] = {}
-        for mode in modes:
-            plan = context.plan(mode, config, qids=[query.qid])
-            row[mode] = context.measure(plan).total_tuples(
-                skip_windows=context.warmup_windows
-            )
-        out[query.name] = row
+    for (query, mode), total in zip(cells, totals):
+        out.setdefault(query.name, {})[mode] = total
     return out
 
 
@@ -110,6 +126,7 @@ def figure7b_multi_query(
     context: SweepContext | None = None,
     config: SwitchConfig | None = None,
     modes: tuple[str, ...] = ALL_MODES,
+    workers: "int | None" = None,
 ) -> dict[int, dict[str, int]]:
     """Figure 7b: total tuples vs number of concurrent queries.
 
@@ -117,16 +134,22 @@ def figure7b_multi_query(
     """
     context = context or SweepContext.build()
     config = config or SwitchConfig.paper_default()
+    cells = [
+        (k, mode)
+        for k in range(1, len(context.queries) + 1)
+        for mode in modes
+    ]
+    totals = parallel_map(
+        lambda cell: context.cell(
+            cell[1], config, qids=[q.qid for q in context.queries[: cell[0]]]
+        ),
+        cells,
+        workers=workers,
+        label="figure7b",
+    )
     out: dict[int, dict[str, int]] = {}
-    for k in range(1, len(context.queries) + 1):
-        qids = [q.qid for q in context.queries[:k]]
-        row: dict[str, int] = {}
-        for mode in modes:
-            plan = context.plan(mode, config, qids=qids)
-            row[mode] = context.measure(plan).total_tuples(
-                skip_windows=context.warmup_windows
-            )
-        out[k] = row
+    for (k, mode), total in zip(cells, totals):
+        out.setdefault(k, {})[mode] = total
     return out
 
 
@@ -146,28 +169,33 @@ def figure8_constraints(
     base: SwitchConfig | None = None,
     modes: tuple[str, ...] = ("max_dp", "fix_ref", "sonata"),
     sweeps: "dict[str, tuple] | None" = None,
+    workers: "int | None" = None,
 ) -> dict[str, dict[object, dict[str, int]]]:
     """Figure 8: vary one switch constraint at a time.
 
-    Returns ``{parameter: {value: {mode: total_tuples}}}``.
+    Returns ``{parameter: {value: {mode: total_tuples}}}``. Every
+    (parameter, value, mode) cell solves its own small ILP over the shared
+    measurements, so the whole grid parallelizes cell-wise.
     """
     context = context or SweepContext.build()
     base = base or SwitchConfig.paper_default()
     sweeps = sweeps or FIGURE8_SWEEPS
-    out: dict[str, dict[object, dict[str, int]]] = {}
+    cells = []
     for parameter, values in sweeps.items():
-        column: dict[object, dict[str, int]] = {}
         for value in values:
             overrides = {parameter: value}
             if parameter == "register_bits_per_stage":
                 overrides["max_single_register_bits"] = max(value // 2, 1)
             config = replace(base, **overrides)
-            row: dict[str, int] = {}
             for mode in modes:
-                plan = context.plan(mode, config)
-                row[mode] = context.measure(plan).total_tuples(
-                    skip_windows=context.warmup_windows
-                )
-            column[value] = row
-        out[parameter] = column
+                cells.append((parameter, value, mode, config))
+    totals = parallel_map(
+        lambda cell: context.cell(cell[2], cell[3]),
+        cells,
+        workers=workers,
+        label="figure8",
+    )
+    out: dict[str, dict[object, dict[str, int]]] = {}
+    for (parameter, value, mode, _), total in zip(cells, totals):
+        out.setdefault(parameter, {}).setdefault(value, {})[mode] = total
     return out

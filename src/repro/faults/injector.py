@@ -31,13 +31,31 @@ SWITCH_FAILED = "failed"
 SWITCH_TIMEOUT = "timeout"
 
 
+class CountingRandom(random.Random):
+    """A ``random.Random`` that counts its uniform draws.
+
+    The count is the channel's *stream position* — a seeded stream that
+    made ``draws`` calls is in exactly one possible state, so comparing
+    draw counts across executions (serial vs process-parallel) pins that
+    both consumed the same prefix of the same stream.
+    """
+
+    def __init__(self, seed_value: int) -> None:
+        super().__init__(seed_value)
+        self.draws = 0
+
+    def random(self) -> float:
+        self.draws += 1
+        return super().random()
+
+
 class FaultInjector:
     """Injects the faults a :class:`FaultSpec` describes, deterministically."""
 
     def __init__(self, spec: FaultSpec, scope: str = "", obs=None) -> None:
         self.spec = spec
         self.scope = scope
-        self._streams: dict[str, random.Random] = {}
+        self._streams: dict[str, CountingRandom] = {}
         self._deferred: list[MirroredTuple] = []
         self._counts: Counter = Counter()
         #: Observability context; the owning runtime overwrites this so
@@ -48,9 +66,15 @@ class FaultInjector:
     def _rng(self, channel: str) -> random.Random:
         rng = self._streams.get(channel)
         if rng is None:
-            rng = random.Random(stable_hash((self.scope, channel), seed=self.spec.seed))
+            rng = CountingRandom(
+                stable_hash((self.scope, channel), seed=self.spec.seed)
+            )
             self._streams[channel] = rng
         return rng
+
+    def rng_draws(self) -> dict[str, int]:
+        """Per-channel PRNG stream positions (uniform draws consumed)."""
+        return {name: rng.draws for name, rng in sorted(self._streams.items())}
 
     def _note(self, channel: str, **attrs) -> None:
         """Count one injected fault and emit the structured obs event."""

@@ -106,9 +106,18 @@ class NetworkWindowReport:
 class NetworkRunReport:
     windows: list[NetworkWindowReport] = field(default_factory=list)
     #: Frozen end-of-run metrics covering the collector *and* every
-    #: per-switch pipeline (they share one registry); ``None`` when
-    #: observability is disabled.
+    #: per-switch pipeline (in parallel mode each worker's registry is
+    #: merged back in switch-id order); ``None`` when observability is
+    #: disabled.
     metrics: "MetricsSnapshot | None" = None
+    #: True when :meth:`NetworkRuntime.run` was handed a trace with zero
+    #: packets — nothing executed (mirrors ``RunReport.empty_trace``).
+    empty_trace: bool = False
+    #: Per-switch fault-injector PRNG stream positions at end of run,
+    #: ``{"switch0": {"mirror": 123, ...}, ...}`` — identical between the
+    #: serial and process-parallel paths by construction, and asserted so
+    #: by the differential suite. Empty without fault injection.
+    fault_draws: dict[str, dict[str, int]] = field(default_factory=dict)
 
     @property
     def degraded_windows(self) -> list[int]:
@@ -148,6 +157,7 @@ class NetworkRuntime:
         degradation: DegradationPolicy | None = None,
         obs=None,
         engine: str = "batched",
+        workers: "int | None" = None,
     ) -> None:
         self.queries = list(queries)
         if not self.queries:
@@ -155,6 +165,9 @@ class NetworkRuntime:
         self.topology = topology
         self.window = window
         self.engine = engine
+        #: Default worker-process count for :meth:`run` (``None``: the
+        #: ``REPRO_WORKERS`` env override, else serial).
+        self.workers = workers
         self.local_threshold_scale = local_threshold_scale
         self.degradation = degradation or DegradationPolicy()
         self.faults = faults
@@ -215,18 +228,58 @@ class NetworkRuntime:
             )
 
     # -- execution ----------------------------------------------------------
-    def run(self, trace: Trace) -> NetworkRunReport:
+    def run(self, trace: Trace, workers: "int | None" = None) -> NetworkRunReport:
+        """Execute the trace network-wide; returns per-window accounting.
+
+        ``workers`` > 1 fans the per-switch pipelines across a process
+        pool (see :mod:`repro.parallel`): each worker rebuilds its switch
+        pipeline from the (picklable) plan, maps its trace slice out of
+        shared memory, and ships back a :class:`RunReport` the parent
+        merges in switch-id order — so parallel runs are tuple-for-tuple
+        identical to serial ones, and ``workers=1`` *is* the serial path.
+        One caveat: workers rebuild per run, so cross-``run()`` pipeline
+        state (fallen-back instances, advanced fault streams) is only
+        carried by the serial path.
+        """
+        from repro.parallel import resolve_workers
+
+        if len(trace) == 0:
+            # Zero windows: mirror SonataRuntime.run's guard instead of
+            # crashing in the collector loop below.
+            logger.warning("network run called with an empty trace; nothing executed")
+            report = NetworkRunReport(empty_trace=True)
+            if self.obs.enabled:
+                report.metrics = self.obs.snapshot()
+            return report
+        n_workers = resolve_workers(workers if workers is not None else self.workers)
+        n_workers = min(n_workers, self.topology.n_switches)
         splits = self.topology.split(trace)
         origin = trace.start_ts
         with self.obs.span(
-            "run", scope="network", switches=self.topology.n_switches
+            "run",
+            scope="network",
+            switches=self.topology.n_switches,
+            workers=n_workers,
         ):
-            per_switch_reports = [
-                runtime.run(split, window=self.window, origin=origin)
-                for runtime, split in zip(self.runtimes, splits)
-            ]
-            report = NetworkRunReport()
-            n_windows = max(len(r.windows) for r in per_switch_reports)
+            if n_workers > 1:
+                per_switch_reports, fault_draws = self._run_parallel(
+                    splits, origin, n_workers
+                )
+            else:
+                per_switch_reports = [
+                    runtime.run(split, window=self.window, origin=origin)
+                    for runtime, split in zip(self.runtimes, splits)
+                ]
+                fault_draws = {
+                    f"switch{switch_id}": draws
+                    for switch_id, runtime in enumerate(self.runtimes)
+                    if runtime.faults is not None
+                    and (draws := runtime.faults.rng_draws())
+                }
+            report = NetworkRunReport(fault_draws=fault_draws)
+            n_windows = max(
+                (len(r.windows) for r in per_switch_reports), default=0
+            )
             for index in range(n_windows):
                 with self.obs.span(
                     "stage.collector_merge", window=index
@@ -237,6 +290,67 @@ class NetworkRuntime:
         if self.obs.enabled:
             report.metrics = self.obs.snapshot()
         return report
+
+    def _run_parallel(
+        self, splits: list[Trace], origin: float, n_workers: int
+    ) -> tuple[list, dict[str, dict[str, int]]]:
+        """Fan per-switch pipelines across a process pool and merge back."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.parallel.netexec import SwitchTask, run_switch_task
+        from repro.parallel.pool import fork_context
+        from repro.parallel.shm import TraceShmPool
+
+        obs = self.obs
+        with obs.span(
+            "parallel.dispatch", switches=len(splits), workers=n_workers
+        ) as dispatch_span:
+            with TraceShmPool() as shm_pool:
+                tasks = [
+                    SwitchTask(
+                        switch_id=switch_id,
+                        plan=self.runtimes[switch_id].plan,
+                        window=self.window,
+                        origin=origin,
+                        engine=self.engine,
+                        fault_scope=f"switch{switch_id}",
+                        faults=self.faults,
+                        degradation=self.degradation,
+                        obs_enabled=obs.enabled,
+                        handle=shm_pool.share(split),
+                    )
+                    for switch_id, split in enumerate(splits)
+                ]
+                if obs.enabled:
+                    obs.counter(
+                        "sonata_parallel_tasks_total",
+                        "tasks dispatched to worker processes",
+                    ).inc(len(tasks), label="network")
+                    obs.counter(
+                        "sonata_shm_bytes_total",
+                        "trace bytes handed to workers via shared memory",
+                    ).inc(shm_pool.shared_bytes)
+                    dispatch_span.set_attribute("shm_bytes", shm_pool.shared_bytes)
+                ctx = fork_context()
+                kwargs = {"mp_context": ctx} if ctx is not None else {}
+                with ProcessPoolExecutor(max_workers=n_workers, **kwargs) as pool:
+                    results = list(pool.map(run_switch_task, tasks))
+
+        # Merge in switch-id order (pool.map preserves input order) so the
+        # combined metrics/trace records are deterministic.
+        per_switch_reports = []
+        fault_draws: dict[str, dict[str, int]] = {}
+        for result in results:
+            per_switch_reports.append(result.report)
+            if result.rng_draws:
+                fault_draws[f"switch{result.switch_id}"] = result.rng_draws
+            if result.metrics is not None:
+                obs.registry.merge(result.metrics)
+            if result.spans or result.events or result.dropped_records:
+                obs.tracer.absorb(
+                    result.spans, result.events, result.dropped_records
+                )
+        return per_switch_reports, fault_draws
 
     def _collect(self, index: int, per_switch_reports) -> NetworkWindowReport:
         switch_tuples = []

@@ -64,11 +64,31 @@ class Topology:
         return Topology(n_switches, prefix_ingress(n_switches, prefix_len))
 
     def split(self, trace: Trace) -> list[Trace]:
-        """Partition a trace into the per-switch views."""
+        """Partition a trace into the per-switch views — without copying
+        one sub-trace per switch.
+
+        The ingress assignment is computed once; a single stable sort
+        groups rows by switch (preserving packet order within each
+        switch, exactly like the per-switch boolean masks it replaces),
+        and every per-switch trace is then a contiguous *view* into that
+        one grouped array. Besides halving peak memory, contiguous views
+        over a shared base are what lets the process-parallel runner ship
+        all splits through one shared-memory segment (see
+        ``repro.parallel.shm``).
+        """
         if len(trace) == 0:
             return [trace for _ in range(self.n_switches)]
         assignment = self.ingress(trace.array)
+        order = np.argsort(assignment, kind="stable")
+        grouped = trace.array[order]  # the one copy, shared by all views
+        bounds = np.searchsorted(
+            assignment[order], np.arange(self.n_switches + 1)
+        )
         return [
-            trace.slice(assignment == switch_id)
+            Trace(
+                grouped[bounds[switch_id] : bounds[switch_id + 1]],
+                trace.qnames,
+                trace.payloads,
+            )
             for switch_id in range(self.n_switches)
         ]

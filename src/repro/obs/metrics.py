@@ -246,6 +246,38 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
+    def merge(self, snapshot: "MetricsSnapshot") -> None:
+        """Fold another process's snapshot into this registry.
+
+        Counters and histogram series add (histograms share the fixed
+        log-scaled buckets precisely so this merge is exact); gauges take
+        the incoming value (last write wins, so callers merging several
+        snapshots in a fixed order get deterministic results).
+        """
+        for sample in snapshot.samples:
+            if sample.kind == "counter":
+                counter = self.counter(sample.name, sample.help)
+                for key, value in sample.values.items():
+                    counter._values[key] = counter._values.get(key, 0) + value
+            elif sample.kind == "gauge":
+                gauge = self.gauge(sample.name, sample.help)
+                for key, value in sample.values.items():
+                    gauge._values[key] = value
+            elif sample.kind == "histogram":
+                histogram = self.histogram(
+                    sample.name, sample.help, sample.buckets or DEFAULT_TIME_BUCKETS
+                )
+                if tuple(histogram.buckets) != tuple(sorted(sample.buckets)):
+                    raise ReproError(
+                        f"histogram {sample.name!r}: bucket layout mismatch on merge"
+                    )
+                for key, (counts, total, count) in sample.values.items():
+                    series = histogram._get(key)
+                    for i, c in enumerate(counts):
+                        series.counts[i] += c
+                    series.total += total
+                    series.count += count
+
     def snapshot(self) -> "MetricsSnapshot":
         samples = []
         for metric in self._metrics.values():

@@ -173,6 +173,61 @@ class Tracer:
             EventRecord(name=name, ts=time.time(), span_id=span_id, attrs=attrs)
         )
 
+    # -- cross-process merge ---------------------------------------------------
+    def absorb(
+        self,
+        spans: "list[SpanRecord]",
+        events: "list[EventRecord]",
+        dropped: int = 0,
+    ) -> None:
+        """Fold another tracer's finished records into this one.
+
+        Span ids are re-based past this tracer's counter so they stay
+        unique; incoming root spans (``parent_id is None``) are attached
+        to the currently open span, so a worker's ``run`` span nests under
+        the parent's network-level span exactly as it would in-process.
+        """
+        if not spans and not events:
+            self.dropped += dropped
+            return
+        offset = self._next_id
+        top = self._stack[-1].span_id if self._stack else None
+        for record in spans:
+            new_parent = (
+                top if record.parent_id is None else record.parent_id + offset
+            )
+            if len(self.spans) + len(self.events) >= self.max_records:
+                self.dropped += 1
+                continue
+            self.spans.append(
+                SpanRecord(
+                    name=record.name,
+                    span_id=record.span_id + offset,
+                    parent_id=new_parent,
+                    ts=record.ts,
+                    duration=record.duration,
+                    attrs=dict(record.attrs),
+                )
+            )
+        for record in events:
+            new_parent = (
+                top if record.span_id is None else record.span_id + offset
+            )
+            if len(self.spans) + len(self.events) >= self.max_records:
+                self.dropped += 1
+                continue
+            self.events.append(
+                EventRecord(
+                    name=record.name,
+                    ts=record.ts,
+                    span_id=new_parent,
+                    attrs=dict(record.attrs),
+                )
+            )
+        self.dropped += dropped
+        max_id = max(r.span_id for r in spans) if spans else 0
+        self._next_id = max(self._next_id, max_id + offset + 1)
+
     # -- aggregation ----------------------------------------------------------
     def durations_by_name(self) -> dict[str, list[float]]:
         """All finished-span durations grouped by span name."""

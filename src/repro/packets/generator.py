@@ -173,8 +173,23 @@ class RowBuilder:
 
 
 def generate_backbone(config: BackboneConfig | None = None) -> Trace:
-    """Generate a backbone-like trace per ``config`` (deterministic)."""
+    """Generate a backbone-like trace per ``config`` (deterministic).
+
+    Generation is content-addressed: because the output is a pure function
+    of the config, repeated calls with an equal config within one process
+    return the same immutable trace from :mod:`repro.parallel.cache`
+    instead of regenerating (sweeps rebuild identical workloads per cell).
+    Set ``REPRO_TRACE_CACHE=0`` to always regenerate.
+    """
     config = config or BackboneConfig()
+    from repro.parallel.cache import trace_cache
+
+    return trace_cache().get_or_generate(
+        config, lambda: _generate_backbone(config)
+    )
+
+
+def _generate_backbone(config: BackboneConfig) -> Trace:
     rng = np.random.default_rng(config.seed)
 
     clients = _make_address_pool(rng, config.n_clients, config.n_client_prefixes, 12)

@@ -76,3 +76,22 @@ class TestFigure8:
         )
         column = results["register_bits_per_stage"]
         assert column[8 * MB]["sonata"] <= column[int(0.5 * MB)]["sonata"] * 1.05
+
+
+class TestParallelSweeps:
+    """Worker count is an execution detail: identical results, any N."""
+
+    def test_figure7a_workers_equal_serial(self, context):
+        serial = figure7a_single_query(context, modes=("max_dp", "sonata"))
+        parallel = figure7a_single_query(
+            context, modes=("max_dp", "sonata"), workers=2
+        )
+        assert parallel == serial
+
+    def test_figure8_workers_equal_serial(self, context):
+        kwargs = dict(
+            modes=("sonata",), sweeps={"stages": (2, 8)}
+        )
+        assert figure8_constraints(context, workers=2, **kwargs) == (
+            figure8_constraints(context, **kwargs)
+        )

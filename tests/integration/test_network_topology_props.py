@@ -59,3 +59,25 @@ class TestTopologyProperties:
             if prefix in seen:
                 assert seen[prefix] == int(switch)
             seen[prefix] = int(switch)
+
+    @settings(max_examples=25, deadline=None)
+    @given(packets, st.integers(min_value=1, max_value=8))
+    def test_split_returns_views_over_one_base(self, pkts, n_switches):
+        """split() must not copy per switch: every non-empty sub-trace is
+        a contiguous view into one shared grouped array (one allocation
+        for the whole fan-out, and the precondition for single-segment
+        shared-memory handoff)."""
+        trace = Trace.from_packets(pkts)
+        if len(trace) == 0:
+            return
+        splits = Topology.ecmp(n_switches).split(trace)
+        bases = {
+            id(s.array.base)
+            for s in splits
+            if len(s) and s.array.base is not None
+        }
+        assert len(bases) <= 1
+        for s in splits:
+            if len(s):
+                assert s.array.base is not None, "sub-trace is a copy"
+                assert s.array.flags["C_CONTIGUOUS"]

@@ -1,0 +1,80 @@
+"""Worker-count resolution and the generic ``parallel_map`` executor."""
+
+import os
+
+import pytest
+
+from repro.parallel.pool import (
+    MAX_AUTO_WORKERS,
+    default_workers,
+    parallel_map,
+    resolve_workers,
+)
+
+
+def _square(x):
+    return x * x
+
+
+class TestWorkerResolution:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers(None) == 5
+        assert default_workers() == 5
+
+    def test_library_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_cli_default_is_cpu_aware(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        expected = max(1, min(os.cpu_count() or 1, MAX_AUTO_WORKERS))
+        assert default_workers() == expected
+
+    def test_floor_is_one(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-3) == 1
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+
+
+class TestParallelMap:
+    def test_preserves_input_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, workers=4) == [x * x for x in items]
+
+    def test_serial_and_parallel_agree(self):
+        items = [3, 1, 4, 1, 5, 9, 2, 6]
+        serial = parallel_map(_square, items, workers=1)
+        parallel = parallel_map(_square, items, workers=3)
+        assert serial == parallel
+
+    def test_closures_cross_the_fork(self):
+        offset = 100
+        results = parallel_map(lambda x: x + offset, [1, 2, 3], workers=2)
+        assert results == [101, 102, 103]
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise ValueError(f"item {x}")
+
+        with pytest.raises(ValueError):
+            parallel_map(boom, [1], workers=1)
+        with pytest.raises(ValueError):
+            parallel_map(boom, [1, 2], workers=2)
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+    def test_nested_map_degrades_to_serial(self):
+        def outer(x):
+            return parallel_map(_square, [x, x + 1], workers=2)
+
+        assert parallel_map(outer, [1, 4], workers=2) == [[1, 4], [16, 25]]

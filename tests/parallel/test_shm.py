@@ -1,0 +1,104 @@
+"""Shared-memory trace handoff: round-trips, view dedup, fallback."""
+
+import numpy as np
+import pytest
+
+from repro.network.topology import Topology
+from repro.packets.generator import BackboneConfig, generate_backbone
+from repro.packets.trace import TRACE_DTYPE, Trace
+from repro.parallel.shm import TraceHandle, TraceShmPool, open_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_backbone(BackboneConfig(duration=3.0, pps=1_500, seed=5))
+
+
+def assert_traces_equal(a: Trace, b: Trace) -> None:
+    assert np.array_equal(a.array, b.array)
+    assert a.qnames == b.qnames
+    assert a.payloads == b.payloads
+
+
+class TestRoundTrip:
+    def test_shm_round_trip(self, trace):
+        with TraceShmPool() as pool:
+            handle = pool.share(trace)
+            assert handle.shm_name is not None
+            assert handle.payload is None
+            opened, closer = open_trace(handle)
+            try:
+                assert_traces_equal(trace, opened)
+                assert not opened.array.flags.writeable
+            finally:
+                closer()
+
+    def test_empty_trace_needs_no_segment(self):
+        with TraceShmPool() as pool:
+            handle = pool.share(Trace.empty())
+            assert handle.shm_name is None and handle.count == 0
+            opened, closer = open_trace(handle)
+            closer()
+            assert len(opened) == 0
+
+    def test_pickle_fallback_round_trip(self, trace):
+        with TraceShmPool(use_shm=False) as pool:
+            handle = pool.share(trace)
+            assert handle.shm_name is None
+            assert handle.payload is not None
+            opened, closer = open_trace(handle)
+            closer()
+            assert_traces_equal(trace, opened)
+
+    def test_env_disables_shm(self, trace, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SHM", "1")
+        with TraceShmPool() as pool:
+            handle = pool.share(trace)
+            assert handle.shm_name is None
+            opened, _ = open_trace(handle)
+            assert_traces_equal(trace, opened)
+
+
+class TestViewDedup:
+    def test_splits_share_one_segment(self, trace):
+        """All of Topology.split's views ride one segment: the bytes of
+        the grouped base array are written to shared memory exactly once."""
+        splits = Topology.ecmp(4, seed=1).split(trace)
+        with TraceShmPool() as pool:
+            handles = [pool.share(s) for s in splits]
+            names = {h.shm_name for h in handles if h.count}
+            assert len(names) == 1
+            base_rows = len(trace)
+            assert pool.shared_bytes == base_rows * TRACE_DTYPE.itemsize
+            # offsets address disjoint, ordered row ranges
+            spans = sorted(
+                (h.offset, h.offset + h.count) for h in handles if h.count
+            )
+            assert spans[0][0] == 0 and spans[-1][1] == base_rows
+            for (_, end), (start, _) in zip(spans, spans[1:]):
+                assert end == start
+
+    def test_views_round_trip_identically(self, trace):
+        splits = Topology.ecmp(3, seed=2).split(trace)
+        with TraceShmPool() as pool:
+            handles = [pool.share(s) for s in splits]
+            for split, handle in zip(splits, handles):
+                opened, closer = open_trace(handle)
+                try:
+                    assert_traces_equal(split, opened)
+                finally:
+                    closer()
+
+    def test_standalone_trace_gets_own_segment(self, trace):
+        with TraceShmPool() as pool:
+            a = pool.share(trace)
+            # A sliced copy (fancy indexing) has a different base.
+            other = trace.slice(np.arange(0, len(trace), 2))
+            b = pool.share(other)
+            assert a.shm_name != b.shm_name
+
+
+class TestHandle:
+    def test_nbytes(self):
+        handle = TraceHandle(count=10)
+        assert handle.nbytes == 10 * TRACE_DTYPE.itemsize
