@@ -84,6 +84,84 @@ def bench_stable_hash(benchmark):
     benchmark(lambda: [stable_hash((i, i * 7), seed=3) for i in range(1_000)])
 
 
+def bench_batch_channel_window(benchmark, small_trace, query):
+    """Columnar mirror channel: switch items -> emitter -> SP, one window."""
+    from repro.planner import QueryPlanner
+    from repro.runtime import SonataRuntime
+
+    planner = QueryPlanner([query], small_trace, window=3.0, time_limit=20)
+    plan = planner.plan("sonata")
+
+    def run():
+        runtime = SonataRuntime(plan, channel="batch")
+        return runtime.run(small_trace)
+
+    report = benchmark(run)
+    assert report.windows
+
+
+def bench_emitter_columnar_assembly(benchmark, small_trace, query):
+    """Emitter ingest_items + end_window over one window's batch output."""
+    from repro.planner import QueryPlanner
+    from repro.runtime import SonataRuntime
+
+    planner = QueryPlanner([query], small_trace, window=3.0, time_limit=20)
+    plan = planner.plan("sonata")
+    runtime = SonataRuntime(plan, channel="batch")
+    items = runtime.switch.process_window_items(small_trace)
+    key_reports = runtime.switch.end_window_items()
+    tables = runtime.switch.filter_tables
+
+    def run():
+        emitter = runtime.emitter
+        emitter.ingest_items(items)
+        return emitter.end_window(key_reports, tables)
+
+    batches = benchmark(run)
+    assert batches
+
+
+def bench_wire_codec_batch(benchmark, small_trace, query):
+    """encode_batch + decode_batch over one window's largest stream batch."""
+    from repro.core.fields import FIELDS
+    from repro.planner import QueryPlanner
+    from repro.runtime import SonataRuntime
+    from repro.runtime.wire import WireCodec
+    from repro.switch.mirror import MirroredBatch
+
+    planner = QueryPlanner([query], small_trace, window=3.0, time_limit=20)
+    plan = planner.plan("sonata")
+    runtime = SonataRuntime(plan, channel="batch")
+    items = runtime.switch.process_window_items(small_trace)
+    batch = max(
+        (it for it in items if isinstance(it, MirroredBatch)),
+        key=lambda b: b.n_rows,
+    )
+    codec = WireCodec()
+    key = f"{batch.instance}#{batch.kind}#{batch.op_index}"
+    widths = {}
+    for name in batch.state.columns:
+        if (
+            name not in batch.state.vocabs
+            and batch.state.columns[name].dtype.kind == "f"
+        ):
+            widths[name] = "float"
+        elif name in FIELDS:
+            spec = FIELDS.get(name)
+            widths[name] = spec.width if spec.kind == "int" else 0
+        elif name in batch.state.vocabs:
+            widths[name] = 0
+        else:
+            widths[name] = 64
+    codec.configure(key, widths)
+
+    def run():
+        return codec.decode_batch(codec.encode_batch(batch, key), key)
+
+    decoded = benchmark(run)
+    assert decoded.n_rows == batch.n_rows
+
+
 def bench_ilp_solve(benchmark, small_trace, query):
     """Build + solve the single-query planning MILP."""
     planner = QueryPlanner([query], small_trace, window=3.0, time_limit=20)

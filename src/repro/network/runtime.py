@@ -157,6 +157,7 @@ class NetworkRuntime:
         degradation: DegradationPolicy | None = None,
         obs=None,
         engine: str = "batched",
+        channel: str = "auto",
         workers: "int | None" = None,
     ) -> None:
         self.queries = list(queries)
@@ -165,6 +166,7 @@ class NetworkRuntime:
         self.topology = topology
         self.window = window
         self.engine = engine
+        self.channel = channel
         #: Default worker-process count for :meth:`run` (``None``: the
         #: ``REPRO_WORKERS`` env override, else serial).
         self.workers = workers
@@ -224,6 +226,7 @@ class NetworkRuntime:
                     fault_scope=f"switch{switch_id}",
                     obs=self.obs,
                     engine=engine,
+                    channel=channel,
                 )
             )
 
@@ -313,6 +316,7 @@ class NetworkRuntime:
                         window=self.window,
                         origin=origin,
                         engine=self.engine,
+                        channel=self.channel,
                         fault_scope=f"switch{switch_id}",
                         faults=self.faults,
                         degradation=self.degradation,

@@ -4,9 +4,11 @@ In the paper the emitter is a process on the monitoring port that parses
 mirrored packets with Scapy, keeps the output of stateful operators in a
 local key-value store, and reads the data-plane registers at the end of
 each window. Here the switch simulator already hands over structured
-:class:`MirroredTuple` objects, so the emitter's remaining jobs are:
+mirror output, so the emitter's remaining jobs are:
 
-- buffering per-instance tuples within the window;
+- buffering per-instance mirror output within the window — per-tuple
+  (:meth:`Emitter.ingest`, the row channel) or columnar
+  (:meth:`Emitter.ingest_items`, the batch channel);
 - the §3.1.3 collision adjustment: tuples whose key overflowed all ``d``
   registers were mirrored raw, so at window end the emitter replays them
   through the on-switch portion of the query and merges the result with
@@ -14,7 +16,9 @@ each window. Here the switch simulator already hands over structured
   switch for a *full*, un-thresholded register dump; the emitter re-
   aggregates the union (a key's contributions can be split between the
   registers and the overflow stream when the overflow happened at a
-  mid-chain distinct) and then re-applies the folded threshold;
+  mid-chain distinct) and then re-applies the folded threshold. On the
+  batch channel this merge runs on the shared :mod:`repro.exec` kernels
+  (:mod:`repro.streaming.batchops`) without materializing dict rows;
 - counting tuples: the number of tuples crossing the emitter is the
   paper's headline load metric.
 """
@@ -26,18 +30,32 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.core.operators import Distinct, Reduce
+from repro.exec import ColumnarState
 from repro.obs import get_observability
 from repro.planner.plans import InstancePlan
+from repro.streaming.batchops import apply_operator_state, apply_operators_state
 from repro.streaming.rowops import Row, apply_operator, apply_operators
-from repro.switch.simulator import MirroredTuple
+from repro.switch.mirror import (
+    MirroredBatch,
+    MirroredRows,
+    MirroredTuple,
+    concat_states,
+    merge_tagged,
+)
 
 
 @dataclass
 class EmitterBatch:
-    """Per-instance tuples delivered to the stream processor for a window."""
+    """Per-instance tuples delivered to the stream processor for a window.
+
+    Exactly one representation is populated: ``state`` (columnar, the
+    batch channel) or ``rows`` (per-tuple, the row channel). Both stand
+    for the same tuples in the same order.
+    """
 
     rows: list[Row] = field(default_factory=list)
     tuples_sent: int = 0  # tuples that crossed the switch -> SP boundary
+    state: "ColumnarState | None" = None
 
 
 class Emitter:
@@ -49,6 +67,9 @@ class Emitter:
         self._overflow: dict[str, dict[int, list[Row]]] = defaultdict(
             lambda: defaultdict(list)
         )
+        #: Batch-channel buffers: per instance, ("batch", MirroredBatch)
+        #: and ("rows", tagged-tuple list) segments in arrival order.
+        self._segments: dict[str, list[tuple]] = defaultdict(list)
         self.total_tuples = 0
         self.obs = obs if obs is not None else get_observability()
         self._m_tuples = self.obs.counter(
@@ -61,7 +82,7 @@ class Emitter:
         )
 
     def ingest(self, mirrored: list[MirroredTuple]) -> None:
-        """Consume per-packet mirrored tuples."""
+        """Consume per-packet mirrored tuples (the row channel)."""
         for m in mirrored:
             self.total_tuples += 1
             if m.kind == "stream":
@@ -71,42 +92,246 @@ class Emitter:
             else:  # pragma: no cover - key reports arrive via end_window
                 raise ValueError(f"unexpected mirrored kind {m.kind}")
 
+    def ingest_items(
+        self, items: "list[MirroredBatch | MirroredRows]"
+    ) -> None:
+        """Consume one window's columnar mirror output (the batch channel).
+
+        :class:`MirroredRows` fallbacks (scalar-oracle replays) are kept
+        as tagged tuples so the window can still be assembled in exact
+        channel order when an instance ends up mixed.
+        """
+        for item in items:
+            if isinstance(item, MirroredRows):
+                if not item.tagged:
+                    continue
+                self.total_tuples += len(item.tagged)
+                # A per-packet fallback item can carry tuples for several
+                # instances; each instance buffers only its own slice
+                # (the (row, pos) tags keep channel order recoverable).
+                per_instance: dict[str, list] = {}
+                for entry in item.tagged:
+                    per_instance.setdefault(entry[2].instance, []).append(entry)
+                for instance, tagged in per_instance.items():
+                    self._segments[instance].append(("rows", tagged))
+                continue
+            if item.kind not in ("stream", "overflow"):
+                raise ValueError(f"unexpected mirrored kind {item.kind}")
+            self.total_tuples += item.n_rows
+            self._segments[item.instance].append(("batch", item))
+
     def overflow_instances(self) -> set[str]:
         """Instances needing a full register dump this window."""
-        return {key for key, buckets in self._overflow.items() if buckets}
+        out = {key for key, buckets in self._overflow.items() if buckets}
+        for key, segments in self._segments.items():
+            for tag, seg in segments:
+                if tag == "batch":
+                    if seg.kind == "overflow":
+                        out.add(key)
+                        break
+                elif any(t.kind == "overflow" for _, _, t in seg):
+                    out.add(key)
+                    break
+        return out
 
     def end_window(
         self,
-        key_reports: Mapping[str, list[MirroredTuple]],
+        key_reports: "Mapping[str, MirroredBatch | list[MirroredTuple]]",
         tables: Mapping[str, set] | None = None,
     ) -> dict[str, EmitterBatch]:
-        """Assemble the final per-instance batches for the closing window."""
+        """Assemble the final per-instance batches for the closing window.
+
+        An instance whose mirror output arrived fully columnar (and whose
+        key report, if any, is a batch) is assembled on the columnar path;
+        anything mixed — scalar-oracle replays, per-tuple ingest, shape
+        conflicts — falls back to the row path, which remains the exact
+        reference semantics.
+        """
         batches: dict[str, EmitterBatch] = {}
-        keys = set(self._stream) | set(self._overflow) | set(key_reports)
+        keys = (
+            set(self._stream)
+            | set(self._overflow)
+            | set(self._segments)
+            | set(key_reports)
+        )
         for key in keys:
             plan = self._instances.get(key)
-            reports = list(key_reports.get(key, []))
-            self.total_tuples += len(reports)
-            sent = len(self._stream.get(key, [])) + len(reports)
-            sent += sum(len(p) for p in self._overflow.get(key, {}).values())
+            report_item = key_reports.get(key, [])
+            segments = self._segments.get(key, [])
+            n_reports = (
+                report_item.n_rows
+                if isinstance(report_item, MirroredBatch)
+                else len(report_item)
+            )
+            self.total_tuples += n_reports
+            sent = (
+                n_reports
+                + len(self._stream.get(key, []))
+                + sum(len(p) for p in self._overflow.get(key, {}).values())
+                + sum(
+                    len(seg) if tag == "rows" else seg.n_rows
+                    for tag, seg in segments
+                )
+            )
 
-            if key in self._overflow and plan is not None:
-                rows = self._merge_overflow(plan, reports, tables)
-                self._m_overflow_merges.inc(instance=key)
-            else:
-                rows = [m.fields for m in reports]
-            rows = list(self._stream.get(key, [])) + rows
-            batches[key] = EmitterBatch(rows=rows, tuples_sent=sent)
+            batch: EmitterBatch | None = None
+            columnar = (
+                key not in self._stream
+                and key not in self._overflow
+                and all(tag == "batch" for tag, _ in segments)
+                and (
+                    isinstance(report_item, MirroredBatch) or not report_item
+                )
+            )
+            if columnar:
+                try:
+                    state = self._assemble_columnar(
+                        key, plan, report_item, segments, tables
+                    )
+                    batch = EmitterBatch(state=state, tuples_sent=sent)
+                except ValueError:
+                    batch = None  # shape conflict: use the row reference
+            if batch is None:
+                batch = self._assemble_rows(
+                    key, plan, report_item, segments, tables
+                )
+                batch.tuples_sent = sent
+            batches[key] = batch
             self._m_tuples.inc(sent, instance=key)
 
         self._stream.clear()
         self._overflow.clear()
+        self._segments.clear()
         return batches
+
+    # -- columnar assembly (batch channel) --------------------------------
+    def _assemble_columnar(
+        self,
+        key: str,
+        plan: "InstancePlan | None",
+        report_item: "MirroredBatch | list",
+        segments: list[tuple],
+        tables: Mapping[str, set] | None,
+    ) -> ColumnarState:
+        stream_states: list[ColumnarState] = []
+        overflow_batches: list[MirroredBatch] = []
+        for _tag, seg in segments:
+            if seg.kind == "stream":
+                stream_states.append(seg.state)
+            else:
+                overflow_batches.append(seg)
+        report_batch = (
+            report_item if isinstance(report_item, MirroredBatch) else None
+        )
+        merged: ColumnarState | None = None
+        if overflow_batches and plan is not None:
+            merged = self._merge_overflow_columnar(
+                plan, report_batch, overflow_batches, tables
+            )
+            self._m_overflow_merges.inc(instance=key)
+        elif report_batch is not None:
+            merged = report_batch.state
+        parts = stream_states + ([merged] if merged is not None else [])
+        if not parts:
+            return ColumnarState(columns={})
+        return concat_states(parts)
+
+    def _merge_overflow_columnar(
+        self,
+        plan: InstancePlan,
+        report_batch: "MirroredBatch | None",
+        overflow_batches: list[MirroredBatch],
+        tables: Mapping[str, set] | None,
+    ) -> ColumnarState:
+        """Columnar twin of :meth:`_merge_overflow` on the shared kernels.
+
+        Buckets are replayed in order of their first overflowing packet —
+        the order the row channel's per-arrival buckets are created in
+        (a later operator can overflow before an earlier one does).
+        """
+        ops = plan.augmented.operators
+        ordered = sorted(
+            overflow_batches,
+            key=lambda b: int(b.rows[0]) if b.rows is not None and len(b.rows) else 0,
+        )
+        stateful_indices = [
+            i for i, op in enumerate(ops[: plan.cut]) if op.stateful
+        ]
+        base = [] if report_batch is None else [report_batch.state]
+        if not stateful_indices:
+            # No stateful prefix: just replay overflow to the cut level.
+            states = base + [
+                apply_operators_state(
+                    b.state, list(ops[b.op_index : plan.cut]), tables
+                )
+                for b in ordered
+            ]
+            return concat_states(states) if states else ColumnarState(columns={})
+        last = stateful_indices[-1]
+        level = last + 1  # pre-threshold merge point
+
+        states = base + [
+            apply_operators_state(b.state, list(ops[b.op_index : level]), tables)
+            for b in ordered
+        ]
+        merged = concat_states(states) if states else ColumnarState(columns={})
+        # Re-aggregate partial results for keys split across the paths.
+        stateful_op = ops[last]
+        if isinstance(stateful_op, Reduce):
+            remerge = Reduce(
+                keys=stateful_op.keys,
+                func=stateful_op.func if stateful_op.func != "count" else "sum",
+                value_field=stateful_op.out,
+                out=stateful_op.out,
+            )
+            merged = apply_operator_state(merged, remerge, tables)
+        elif isinstance(stateful_op, Distinct):
+            merged = apply_operator_state(
+                merged, Distinct(keys=tuple(merged.columns)), tables
+            )
+        return apply_operators_state(merged, list(ops[level : plan.cut]), tables)
+
+    # -- row assembly (reference semantics) --------------------------------
+    def _assemble_rows(
+        self,
+        key: str,
+        plan: "InstancePlan | None",
+        report_item: "MirroredBatch | list",
+        segments: list[tuple],
+        tables: Mapping[str, set] | None,
+    ) -> EmitterBatch:
+        stream_rows: list[Row] = list(self._stream.get(key, []))
+        buckets: dict[int, list[Row]] = {
+            i: list(rows) for i, rows in self._overflow.get(key, {}).items()
+        }
+        if segments:
+            items = [
+                MirroredRows(tagged=seg) if tag == "rows" else seg
+                for tag, seg in segments
+            ]
+            for t in merge_tagged(items):
+                if t.kind == "stream":
+                    stream_rows.append(t.fields)
+                else:
+                    buckets.setdefault(t.op_index, []).append(t.fields)
+        reports = (
+            report_item.materialize()
+            if isinstance(report_item, MirroredBatch)
+            else list(report_item)
+        )
+        if buckets and plan is not None:
+            rows = self._merge_overflow(plan, reports, buckets, tables)
+            self._m_overflow_merges.inc(instance=key)
+        else:
+            rows = [m.fields for m in reports]
+        rows = stream_rows + rows
+        return EmitterBatch(rows=rows)
 
     def _merge_overflow(
         self,
         plan: InstancePlan,
         reports: list[MirroredTuple],
+        buckets: Mapping[int, list[Row]],
         tables: Mapping[str, set] | None,
     ) -> list[Row]:
         """Union register dump and overflow stream, re-aggregate, re-filter.
@@ -125,7 +350,7 @@ class Emitter:
         if not stateful_indices:
             # No stateful prefix: just replay overflow to the cut level.
             rows = [m.fields for m in reports]
-            for op_index, pending in self._overflow.get(plan.key, {}).items():
+            for op_index, pending in buckets.items():
                 rows.extend(
                     apply_operators(pending, list(ops[op_index : plan.cut]), tables)
                 )
@@ -134,7 +359,7 @@ class Emitter:
         level = last + 1  # pre-threshold merge point
 
         merged: list[Row] = [m.fields for m in reports]
-        for op_index, pending in self._overflow.get(plan.key, {}).items():
+        for op_index, pending in buckets.items():
             merged.extend(
                 apply_operators(pending, list(ops[op_index:level]), tables)
             )

@@ -150,6 +150,7 @@ class SonataRuntime:
         fault_scope: str = "",
         obs=None,
         engine: str = "batched",
+        channel: str = "auto",
     ) -> None:
         self.plan = plan
         self.on_retrain = on_retrain
@@ -162,6 +163,18 @@ class SonataRuntime:
         if engine not in ("batched", "rowwise"):
             raise ValueError(f"unknown engine {engine!r} (batched|rowwise)")
         self.engine = engine
+        #: Mirror-channel representation: ``"batch"`` carries columnar
+        #: :class:`MirroredBatch` items end-to-end (switch -> emitter ->
+        #: stream processor), ``"row"`` materializes per-tuple output at
+        #: the mirror point (the reference channel), ``"auto"`` picks
+        #: batch whenever the batched engine runs. Per-tuple mirror
+        #: faults force the row channel either way — the injector's PRNG
+        #: stream is drawn per tuple in channel order.
+        if channel not in ("auto", "batch", "row"):
+            raise ValueError(f"unknown channel {channel!r} (auto|batch|row)")
+        if channel == "batch" and engine == "rowwise":
+            raise ValueError("channel='batch' requires the batched engine")
+        self.channel = channel
         self.retrain_signals: list[int] = []  # window indices that fired
         #: Observability context (``repro.obs``). Defaults to the
         #: process-wide instance (a no-op unless the CLI or a harness
@@ -215,6 +228,15 @@ class SonataRuntime:
             FaultInjector(faults, scope=fault_scope)
             if faults is not None and faults.active
             else None
+        )
+        #: Resolved channel: the columnar batch channel runs only on the
+        #: batched engine and only when no per-tuple mirror fault is
+        #: armed (the injector draws its PRNG per tuple in channel order,
+        #: which batches cannot replay).
+        self._batch_channel = (
+            engine == "batched"
+            and channel != "row"
+            and (faults is None or not faults.mirror_active)
         )
         #: Filter-table updates deferred by the fault injector; applied at
         #: the start of the next window (stale-plan semantics).
@@ -332,7 +354,19 @@ class SonataRuntime:
         # 1. Data plane.
         with obs.span("stage.switch", window=index) as stage_span:
             if self.switch.instances:
-                if self.engine == "batched":
+                if self._batch_channel:
+                    # Columnar mirror channel: the switch emits
+                    # MirroredBatch items that travel to the emitter
+                    # without ever materializing per-tuple rows. Mirror
+                    # faults are guaranteed inactive here (the gate in
+                    # __init__ forces the row channel otherwise), so
+                    # ``faults.mirror`` would be a PRNG-free no-op and is
+                    # skipped.
+                    items = self.switch.process_window_items(window_trace)
+                    if self._wire_codec is not None:
+                        items = [self._wire_roundtrip_item(it) for it in items]
+                    self.emitter.ingest_items(items)
+                elif self.engine == "batched":
                     # One vectorized pass per window. The fault injector
                     # consumes its mirror-channel PRNG per tuple, so one
                     # call over the (packet-ordered) batch draws exactly
@@ -359,19 +393,29 @@ class SonataRuntime:
                 if self._wire_codec is not None:
                     late = [self._wire_roundtrip(m) for m in late]
                 self.emitter.ingest(late)
-            key_reports = self.switch.end_window(
-                full_dump=self.emitter.overflow_instances()
-            )
-            if faults is not None:
-                key_reports = {
-                    key: faults.mirror(reports, allow_reorder=False)
-                    for key, reports in key_reports.items()
-                }
-            if self._wire_codec is not None:
-                key_reports = {
-                    key: [self._wire_roundtrip(m) for m in reports]
-                    for key, reports in key_reports.items()
-                }
+            if self._batch_channel:
+                key_reports = self.switch.end_window_items(
+                    full_dump=self.emitter.overflow_instances()
+                )
+                if self._wire_codec is not None:
+                    key_reports = {
+                        key: self._wire_roundtrip_item(item)
+                        for key, item in key_reports.items()
+                    }
+            else:
+                key_reports = self.switch.end_window(
+                    full_dump=self.emitter.overflow_instances()
+                )
+                if faults is not None:
+                    key_reports = {
+                        key: faults.mirror(reports, allow_reorder=False)
+                        for key, reports in key_reports.items()
+                    }
+                if self._wire_codec is not None:
+                    key_reports = {
+                        key: [self._wire_roundtrip(m) for m in reports]
+                        for key, reports in key_reports.items()
+                    }
         self._h_stage.observe(stage_span.duration, stage="switch")
         tables = self.switch.filter_tables
 
@@ -388,9 +432,14 @@ class SonataRuntime:
             for key, batch in batches.items():
                 tuples_to_sp[self._instances[key].qid] += batch.tuples_sent
                 tuples_per_instance[key] += batch.tuples_sent
-                leaf_rows[key] = self.stream_processor.process(
-                    key, batch.rows, tables
-                )
+                if batch.state is not None:
+                    leaf_rows[key] = self.stream_processor.process_state(
+                        key, batch.state, tables
+                    )
+                else:
+                    leaf_rows[key] = self.stream_processor.process(
+                        key, batch.rows, tables
+                    )
 
             # Raw-mirrored instances: executed with the vectorized engine;
             # the full window crosses to the SP once per query needing it.
@@ -570,7 +619,12 @@ class SonataRuntime:
         except Exception:
             widths = {}
             for name, value in mirrored.fields.items():
-                if name in FIELDS:
+                if isinstance(value, float):
+                    # ts and friends: FIELDS registers them as 64-bit
+                    # ints, but the live tuple carries a float and an int
+                    # encoding would truncate it.
+                    widths[name] = "float"
+                elif name in FIELDS:
                     spec = FIELDS.get(name)
                     widths[name] = spec.width if spec.kind == "int" else 0
                 elif isinstance(value, (bytes, str)):
@@ -595,6 +649,70 @@ class SonataRuntime:
             fields=decoded.fields,
             op_index=decoded.op_index,
         )
+
+    def _wire_roundtrip_item(self, item):
+        """Round-trip one mirror-channel item (batch channel).
+
+        Batches go through :meth:`WireCodec.encode_batch` /
+        ``decode_batch``; per-packet fallback items (``MirroredRows``,
+        plain tuple lists from legacy report paths) reuse the scalar
+        round-trip per tuple.
+        """
+        from repro.switch.mirror import MirroredBatch, MirroredRows
+
+        if isinstance(item, MirroredBatch):
+            return self._wire_roundtrip_batch(item)
+        if isinstance(item, MirroredRows):
+            return MirroredRows(
+                tagged=[
+                    (row, pos, self._wire_roundtrip(t))
+                    for row, pos, t in item.tagged
+                ]
+            )
+        return [self._wire_roundtrip(t) for t in item]
+
+    def _wire_roundtrip_batch(self, batch):
+        """Encode + decode a columnar batch; must be bit-for-bit lossless."""
+        from repro.core.fields import FIELDS
+        from repro.switch.mirror import MirroredBatch
+
+        if batch.n_rows == 0:
+            return batch
+        codec = self._wire_codec
+        schema_key = f"{batch.instance}#{batch.kind}#{batch.op_index}"
+        try:
+            codec.schema(schema_key)
+        except Exception:
+            widths = {}
+            for name in batch.state.columns:
+                if (
+                    name not in batch.state.vocabs
+                    and batch.state.columns[name].dtype.kind == "f"
+                ):
+                    widths[name] = "float"
+                elif name in FIELDS:
+                    spec = FIELDS.get(name)
+                    widths[name] = spec.width if spec.kind == "int" else 0
+                elif name in batch.state.vocabs:
+                    widths[name] = 0
+                else:
+                    widths[name] = 64
+            codec.configure(schema_key, widths)
+        decoded = codec.decode_batch(
+            codec.encode_batch(batch, schema_key), schema_key
+        )
+        result = MirroredBatch(
+            instance=batch.instance,
+            kind=decoded.kind,
+            op_index=decoded.op_index,
+            state=decoded.state,
+            rows=batch.rows,
+            pos=batch.pos,
+        )
+        assert batch.data_equal(result), (
+            f"wire roundtrip changed batch {schema_key}"
+        )
+        return result
 
     def _transition_output(
         self,

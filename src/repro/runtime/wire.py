@@ -10,6 +10,7 @@ encodes/decodes tuples as compact binary records:
 
     record := instance_id:u16 | kind:u8 | op_index:u8 | fields...
     field  := fixed-width big-endian int          (int fields)
+            | 8-byte big-endian IEEE-754 double   (float fields)
             | u16 length || bytes                 (str/bytes fields)
 
 The simulator hands structured tuples around directly, so the codec's role
@@ -23,7 +24,11 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.errors import PlanningError
+from repro.exec import ColumnarState
+from repro.switch.mirror import MirroredBatch
 from repro.switch.simulator import MirroredTuple
 
 _KINDS = ("stream", "key_report", "overflow")
@@ -36,8 +41,8 @@ def _width_bytes(bits: int) -> int:
 @dataclass(frozen=True)
 class FieldCodec:
     name: str
-    kind: str  # "int" | "bytes" | "str"
-    width_bytes: int  # for ints
+    kind: str  # "int" | "float" | "bytes" | "str"
+    width_bytes: int  # for ints; floats are always 8
 
 
 class WireCodec:
@@ -53,7 +58,9 @@ class WireCodec:
         """Register an instance's (field -> bit width) schema; returns id.
 
         Fields named ``payload`` or DNS names are length-prefixed byte
-        strings; everything else is a fixed-width unsigned integer.
+        strings; a width of the string ``"float"`` is an 8-byte IEEE-754
+        double (timestamps); everything else is a fixed-width unsigned
+        integer.
         """
         if instance_key in self._by_key:
             raise PlanningError(f"wire schema for {instance_key!r} already set")
@@ -64,6 +71,8 @@ class WireCodec:
         for name, bits in schema_fields.items():
             if name == "payload":
                 codecs.append(FieldCodec(name, "bytes", 0))
+            elif bits == "float":
+                codecs.append(FieldCodec(name, "float", 8))
             elif name == "dns.rr.name" or bits <= 0:
                 codecs.append(FieldCodec(name, "str", 0))
             else:
@@ -97,6 +106,8 @@ class WireCodec:
             value = tup.fields[codec.name]
             if codec.kind == "int":
                 out += int(value).to_bytes(codec.width_bytes, "big")
+            elif codec.kind == "float":
+                out += struct.pack(">d", float(value))
             else:
                 blob = (
                     value
@@ -121,6 +132,11 @@ class WireCodec:
                     record[offset : offset + codec.width_bytes], "big"
                 )
                 offset += codec.width_bytes
+            elif codec.kind == "float":
+                (fields[codec.name],) = struct.unpack(
+                    ">d", record[offset : offset + 8]
+                )
+                offset += 8
             else:
                 (length,) = struct.unpack(">H", record[offset : offset + 2])
                 offset += 2
@@ -138,4 +154,271 @@ class WireCodec:
             kind=_KINDS[kind_index],
             fields=fields,
             op_index=op_index,
+        )
+
+    # -- batch encode / decode -------------------------------------------
+    @staticmethod
+    def _int_field_bytes(col: np.ndarray, width: int) -> np.ndarray:
+        """Big-endian byte matrix (n, width) for one int column.
+
+        Bit-for-bit the bytes ``int(value).to_bytes(width, "big")``
+        produces per row, including its ``OverflowError`` behaviour.
+        """
+        if col.dtype.kind == "f":
+            col = col.astype(np.int64)  # int() truncation semantics
+        if col.dtype.kind != "u" and len(col) and int(col.min()) < 0:
+            raise OverflowError("can't convert negative int to unsigned")
+        unsigned = col.astype(np.uint64)
+        if width < 8 and len(unsigned) and int(unsigned.max()) >> (8 * width):
+            raise OverflowError("int too big to convert")
+        matrix = unsigned.astype(">u8").view(np.uint8).reshape(len(unsigned), 8)
+        if width < 8:
+            return matrix[:, 8 - width :]
+        if width > 8:
+            pad = np.zeros((len(unsigned), width - 8), dtype=np.uint8)
+            return np.concatenate([pad, matrix], axis=1)
+        return matrix
+
+    @staticmethod
+    def _float_field_bytes(col: np.ndarray) -> np.ndarray:
+        """Big-endian byte matrix (n, 8) matching ``struct.pack(">d", v)``."""
+        return (
+            col.astype(np.float64)
+            .astype(">f8")
+            .view(np.uint8)
+            .reshape(len(col), 8)
+        )
+
+    def _fixed_field_bytes(self, col: np.ndarray, codec: FieldCodec) -> np.ndarray:
+        if codec.kind == "float":
+            return self._float_field_bytes(col)
+        return self._int_field_bytes(col, codec.width_bytes)
+
+    def _blob_pieces(self, state: ColumnarState, name: str) -> list[bytes]:
+        """Per-row length-prefixed blobs for one str/bytes column."""
+
+        def pack(value) -> bytes:
+            blob = (
+                value
+                if isinstance(value, (bytes, bytearray))
+                else str(value).encode("utf-8")
+            )
+            if len(blob) > 0xFFFF:
+                blob = blob[:0xFFFF]
+            return struct.pack(">H", len(blob)) + bytes(blob)
+
+        vocab = state.vocabs.get(name)
+        col = state.columns[name]
+        if vocab is None:
+            return [pack(v) for v in col.tolist()]
+        missing: "str | bytes" = b"" if name == "payload" else ""
+        encoded = [pack(v) for v in vocab]
+        absent = pack(missing)
+        ids = col.astype(np.int64, copy=False).tolist()
+        return [
+            encoded[i] if 0 <= i < len(encoded) else absent for i in ids
+        ]
+
+    def encode_batch(
+        self, batch: MirroredBatch, instance_key: str | None = None
+    ) -> bytes:
+        """Encode a whole batch as concatenated scalar records.
+
+        The output is bit-for-bit ``b"".join(encode(t) for t in
+        batch.materialize())`` (with ``instance_key`` overriding the
+        schema lookup key, like a tagged tuple would) — but int-only
+        schemas pack through one numpy byte matrix instead of per-row
+        ``struct.pack`` calls.
+        """
+        key = instance_key if instance_key is not None else batch.instance
+        instance_id = self._by_key.get(key)
+        if instance_id is None:
+            raise PlanningError(f"no wire schema for {key!r}")
+        codecs = self._schemas[key]
+        state = batch.state
+        n = state.n_rows
+        for codec in codecs:
+            if codec.name not in state.columns:
+                raise PlanningError(
+                    f"tuple for {key} missing field {codec.name!r}"
+                )
+        header = struct.pack(
+            ">HBB", instance_id, _KINDS.index(batch.kind), batch.op_index
+        )
+        if all(c.kind in ("int", "float") for c in codecs):
+            parts = [np.tile(np.frombuffer(header, dtype=np.uint8), (n, 1))]
+            parts += [
+                self._fixed_field_bytes(state.columns[c.name], c)
+                for c in codecs
+            ]
+            return np.concatenate(parts, axis=1).tobytes()
+        # Blob-bearing schema: per-row variable length; blobs are packed
+        # once per vocabulary entry and looked up per row.
+        columns: list[list[bytes]] = []
+        for codec in codecs:
+            if codec.kind in ("int", "float"):
+                matrix = self._fixed_field_bytes(
+                    state.columns[codec.name], codec
+                )
+                columns.append([row.tobytes() for row in matrix])
+            else:
+                columns.append(self._blob_pieces(state, codec.name))
+        out = bytearray()
+        for i in range(n):
+            out += header
+            for column in columns:
+                out += column[i]
+        return bytes(out)
+
+    def decode_batch(
+        self, data: bytes, instance_key: str | None = None
+    ) -> MirroredBatch:
+        """Decode concatenated records back into one columnar batch.
+
+        All records must share one (instance, kind, op_index) header — a
+        batch is homogeneous by construction. ``instance_key`` names the
+        expected schema for empty inputs (no header to read).
+        """
+        if not data:
+            if instance_key is None:
+                raise PlanningError("empty batch needs an explicit schema key")
+            codecs = self.schema(instance_key)
+            empty_dtype = {
+                "int": np.uint64,
+                "float": np.float64,
+            }
+            columns = {
+                c.name: np.empty(0, dtype=empty_dtype.get(c.kind, np.int64))
+                for c in codecs
+            }
+            vocabs: dict[str, list] = {
+                c.name: [] for c in codecs if c.kind in ("str", "bytes")
+            }
+            return MirroredBatch(
+                instance=instance_key,
+                kind="stream",
+                op_index=0,
+                state=ColumnarState(columns=columns, vocabs=vocabs),
+            )
+        instance_id, kind_index, op_index = struct.unpack(">HBB", data[:4])
+        instance = self._by_id.get(instance_id)
+        if instance is None:
+            raise PlanningError(f"unknown instance id {instance_id}")
+        if instance_key is not None and instance != instance_key:
+            raise PlanningError(
+                f"batch header names {instance!r}, expected {instance_key!r}"
+            )
+        codecs = self._schemas[instance]
+        if all(c.kind in ("int", "float") for c in codecs):
+            record_len = 4 + sum(c.width_bytes for c in codecs)
+            n, extra = divmod(len(data), record_len)
+            if extra:
+                raise PlanningError(
+                    f"trailing bytes in record for {instance}: {extra}"
+                )
+            matrix = np.frombuffer(data, dtype=np.uint8).reshape(n, record_len)
+            if (matrix[:, :4] != matrix[0, :4]).any():
+                raise PlanningError("mixed headers in one batch record stream")
+            columns = {}
+            offset = 4
+            for codec in codecs:
+                w = codec.width_bytes
+                chunk = matrix[:, offset : offset + w]
+                if codec.kind == "float":
+                    columns[codec.name] = (
+                        np.ascontiguousarray(chunk)
+                        .reshape(-1)
+                        .view(">f8")
+                        .astype(np.float64)
+                    )
+                    offset += w
+                    continue
+                if w < 8:
+                    padded = np.zeros((n, 8), dtype=np.uint8)
+                    padded[:, 8 - w :] = chunk
+                elif w > 8:
+                    if chunk[:, : w - 8].any():
+                        raise PlanningError(
+                            f"field {codec.name!r} exceeds 64 bits in a batch"
+                        )
+                    padded = np.ascontiguousarray(chunk[:, w - 8 :])
+                else:
+                    padded = np.ascontiguousarray(chunk)
+                values = padded.reshape(-1).view(">u8").astype(np.uint64)
+                # Keep uint64 so 8-byte fields round-trip the full range;
+                # narrower fields fit comfortably in int64.
+                columns[codec.name] = (
+                    values if w >= 8 else values.astype(np.int64)
+                )
+                offset += w
+            state = ColumnarState(columns=columns)
+        else:
+            raw_columns: dict[str, list] = {c.name: [] for c in codecs}
+            vocabs = {c.name: [] for c in codecs if c.kind in ("str", "bytes")}
+            interns: dict[str, dict] = {
+                c.name: {} for c in codecs if c.kind in ("str", "bytes")
+            }
+            offset = 0
+            end = len(data)
+            while offset < end:
+                header = data[offset : offset + 4]
+                if header != data[:4]:
+                    raise PlanningError(
+                        "mixed headers in one batch record stream"
+                    )
+                offset += 4
+                for codec in codecs:
+                    if codec.kind == "int":
+                        raw_columns[codec.name].append(
+                            int.from_bytes(
+                                data[offset : offset + codec.width_bytes], "big"
+                            )
+                        )
+                        offset += codec.width_bytes
+                    elif codec.kind == "float":
+                        (value,) = struct.unpack(
+                            ">d", data[offset : offset + 8]
+                        )
+                        raw_columns[codec.name].append(value)
+                        offset += 8
+                    else:
+                        (length,) = struct.unpack(
+                            ">H", data[offset : offset + 2]
+                        )
+                        offset += 2
+                        blob = data[offset : offset + length]
+                        offset += length
+                        value = (
+                            bytes(blob)
+                            if codec.kind == "bytes"
+                            else blob.decode("utf-8")
+                        )
+                        intern = interns[codec.name]
+                        idx = intern.get(value)
+                        if idx is None:
+                            idx = intern[value] = len(vocabs[codec.name])
+                            vocabs[codec.name].append(value)
+                        raw_columns[codec.name].append(idx)
+            if offset != end:  # pragma: no cover - blob reads clamp above
+                raise PlanningError(
+                    f"trailing bytes in record for {instance}: {end - offset}"
+                )
+            dtypes = {
+                c.name: np.float64 if c.kind == "float" else np.int64
+                for c in codecs
+            }
+            columns = {
+                name: np.asarray(values, dtype=dtypes[name])
+                for name, values in raw_columns.items()
+            }
+            state = ColumnarState(
+                columns=columns,
+                vocabs=vocabs,
+                payloads=list(vocabs.get("payload", [])),
+            )
+        return MirroredBatch(
+            instance=instance,
+            kind=_KINDS[kind_index],
+            op_index=op_index,
+            state=state,
         )

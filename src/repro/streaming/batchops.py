@@ -1,0 +1,179 @@
+"""Columnar execution of residual dataflow operators (batch channel).
+
+The batched twin of :mod:`repro.streaming.rowops`: executes a partitioned
+query's residual operators over the :class:`~repro.exec.ColumnarState`
+batches the columnar mirror channel delivers, on the same shared
+:mod:`repro.exec` kernels the switch and the analytics engine use. The
+row-wise interpreter stays as the differential oracle — every function
+here must produce exactly the rows :func:`rowops.apply_operators` would,
+in the same order.
+
+Grouping note: a state's vocabulary may hold duplicate entries (trace
+payload tables are not deduplicated) and absent cells (-1) compare equal
+to ``""``/``b""`` in the row engines, so grouped operators first remap
+string columns to *canonical* ids where equal values share one id.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import QueryValidationError
+from repro.core.operators import Distinct, Filter, Join, Map, Operator, Reduce
+from repro.exec import (
+    ColumnarState,
+    aggregate_groups,
+    apply_map,
+    group_first_occurrence,
+    materialize_rows,
+    predicate_mask,
+)
+
+__all__ = [
+    "apply_operator_state",
+    "apply_operators_state",
+    "canonical_column",
+]
+
+
+def canonical_column(
+    state: ColumnarState, name: str
+) -> "tuple[np.ndarray, list | None]":
+    """Column with value-canonical ids, plus its canonical vocabulary.
+
+    Plain columns pass through. Vocab columns are remapped so that equal
+    values share one id and absent cells (-1, which the row engines read
+    as ``""``/``b""``) merge with the explicit empty value — canonical id
+    0 is always the empty value, so no -1 remains in the output.
+    """
+    vocab = state.vocabs.get(name)
+    if vocab is None:
+        return state.columns[name], None
+    missing: "str | bytes" = b"" if name == "payload" else ""
+    canon_vocab: list = [missing]
+    intern: dict = {missing: 0}
+    remap = np.zeros(len(vocab) + 1, dtype=np.int64)  # slot 0 serves id -1
+    for i, value in enumerate(vocab):
+        canon = intern.get(value)
+        if canon is None:
+            canon = intern[value] = len(canon_vocab)
+            canon_vocab.append(value)
+        remap[i + 1] = canon
+    ids = state.columns[name].astype(np.int64, copy=False)
+    shifted = ids + 1
+    # Out-of-range ids materialize as the empty value in the row engines.
+    shifted = np.where((shifted < 0) | (shifted > len(vocab)), 0, shifted)
+    return remap[shifted], canon_vocab
+
+
+def _canonical_state(state: ColumnarState, keys: Sequence[str]) -> ColumnarState:
+    """State whose key columns are safe to group by raw id."""
+    columns = dict(state.columns)
+    vocabs = dict(state.vocabs)
+    for k in keys:
+        if k in state.vocabs:
+            columns[k], vocabs[k] = canonical_column(state, k)
+    return ColumnarState(columns=columns, vocabs=vocabs, payloads=state.payloads)
+
+
+def _reduce_value_field(state: ColumnarState, op: Reduce) -> str | None:
+    """Mirror of :func:`rowops._reduce_value_field` over column names."""
+    if op.value_field:
+        return op.value_field
+    if op.func == "count" or state.n_rows == 0:
+        return None
+    candidates = [name for name in state.columns if name not in op.keys]
+    if len(candidates) == 1:
+        return candidates[0]
+    if op.out in candidates:
+        return op.out
+    if not candidates:
+        return None
+    raise QueryValidationError(
+        f"reduce({op.func}) is ambiguous over fields {sorted(state.columns)}; "
+        "pass value_field explicitly"
+    )
+
+
+def _apply_reduce(state: ColumnarState, op: Reduce) -> ColumnarState:
+    value_field = _reduce_value_field(state, op)
+    n = state.n_rows
+    if value_field is None:
+        values = np.ones(n, dtype=np.int64)
+    else:
+        values = state.columns[value_field].astype(np.int64)  # int() truncation
+    agg_values = None if op.func == "count" else values
+    if not op.keys:
+        # Keyless reduce: one group holding every row (dict key ``()``).
+        if n == 0:
+            return ColumnarState(columns={op.out: np.empty(0, dtype=np.int64)})
+        agg = aggregate_groups(
+            np.zeros(n, dtype=np.int64), agg_values, 1, op.func
+        )
+        return ColumnarState(columns={op.out: agg})
+    grouped = _canonical_state(state, op.keys)
+    unique, _first, inv = group_first_occurrence(grouped, op.keys)
+    agg = aggregate_groups(inv, agg_values, len(unique), op.func)
+    columns = {k: unique[:, j] for j, k in enumerate(op.keys)}
+    columns[op.out] = agg
+    vocabs = {k: grouped.vocabs[k] for k in op.keys if k in grouped.vocabs}
+    return ColumnarState(columns=columns, vocabs=vocabs, payloads=state.payloads)
+
+
+def _apply_distinct(state: ColumnarState, op: Distinct) -> ColumnarState:
+    keys = op.keys or tuple(state.columns)
+    if not keys:
+        # No columns at all — nothing to project (n_rows is 0 too).
+        return ColumnarState(columns={})
+    grouped = _canonical_state(state, keys)
+    unique, _first, _inv = group_first_occurrence(grouped, keys)
+    columns = {k: unique[:, j] for j, k in enumerate(keys)}
+    vocabs = {k: grouped.vocabs[k] for k in keys if k in grouped.vocabs}
+    return ColumnarState(columns=columns, vocabs=vocabs, payloads=state.payloads)
+
+
+def apply_operator_state(
+    state: ColumnarState,
+    op: Operator,
+    tables: Mapping[str, set] | None = None,
+) -> ColumnarState:
+    """Apply one operator to a columnar batch, returning the new batch."""
+    if isinstance(op, Filter):
+        mask = np.ones(state.n_rows, dtype=bool)
+        for pred in op.predicates:
+            mask &= predicate_mask(pred, state, tables)
+        return state if mask.all() else state.select(mask)
+    if isinstance(op, Map):
+        return apply_map(op, state)
+    if isinstance(op, Reduce):
+        return _apply_reduce(state, op)
+    if isinstance(op, Distinct):
+        return _apply_distinct(state, op)
+    if isinstance(op, Join):
+        raise QueryValidationError(
+            "joins are executed by the stream processor engine, not apply_operator"
+        )
+    raise QueryValidationError(f"unsupported operator {op!r}")
+
+
+def apply_operators_state(
+    state: ColumnarState,
+    operators: Sequence[Operator],
+    tables: Mapping[str, set] | None = None,
+) -> ColumnarState:
+    """Apply a linear operator chain to a columnar batch."""
+    if state.n_rows == 0:
+        # The row engine yields [] for an empty batch regardless of the
+        # chain; expressions must not be evaluated against a schemaless
+        # empty state (the emitter emits one when nothing was mirrored).
+        return ColumnarState(columns={})
+    for op in operators:
+        state = apply_operator_state(state, op, tables)
+    return state
+
+
+def materialize_state(state: ColumnarState) -> "list[dict]":
+    """Resolve a columnar batch to the exact rows the row engine yields."""
+    return materialize_rows(state, list(state.columns))

@@ -15,7 +15,9 @@ from typing import Mapping, Sequence
 from repro.core.errors import PlanningError
 from repro.core.operators import Operator
 from repro.core.query import JoinNode, Query
+from repro.exec import ColumnarState, materialize_rows
 from repro.obs import get_observability
+from repro.streaming.batchops import apply_operators_state
 from repro.streaming.rowops import Row, apply_operators, assemble_join_tree
 
 
@@ -33,6 +35,21 @@ class SubQueryRuntime:
     ) -> list[Row]:
         self.tuples_in += len(rows)
         out = apply_operators(rows, self.residual_ops, tables)
+        self.tuples_out += len(out)
+        return out
+
+    def process_state(
+        self, state: ColumnarState, tables: Mapping[str, set] | None = None
+    ) -> list[Row]:
+        """Columnar twin of :meth:`process` (the batch channel's path).
+
+        The residual chain runs on the shared :mod:`repro.exec` kernels;
+        only the (small) final output is materialized to rows for the
+        join-tree/refinement stages.
+        """
+        self.tuples_in += state.n_rows
+        out_state = apply_operators_state(state, self.residual_ops, tables)
+        out = materialize_rows(out_state, list(out_state.columns))
         self.tuples_out += len(out)
         return out
 
@@ -81,6 +98,20 @@ class StreamProcessor:
         self.total_tuples_received += len(rows)
         out = self.instance(key).process(rows, tables)
         self._m_in.inc(len(rows), instance=key)
+        self._m_out.inc(len(out), instance=key)
+        return out
+
+    def process_state(
+        self,
+        key: str,
+        state: ColumnarState,
+        tables: Mapping[str, set] | None = None,
+    ) -> list[Row]:
+        """Run one instance's residual chain over a columnar batch."""
+        n = state.n_rows
+        self.total_tuples_received += n
+        out = self.instance(key).process_state(state, tables)
+        self._m_in.inc(n, instance=key)
         self._m_out.inc(len(out), instance=key)
         return out
 

@@ -83,9 +83,89 @@ class RegisterChain:
         ]
         self.updates = 0
         self.overflows = 0
+        #: Deferred columnar window load (see :meth:`bulk_load_vec`): the
+        #: chain's contents exist only as arrays until something needs the
+        #: dict representation. ``None`` when fully materialized.
+        self._pending: "tuple | None" = None
+
+    def vec_ready(self) -> bool:
+        """True when :meth:`bulk_load_vec` may run (chain is empty)."""
+        return self._pending is None and all(not a for a in self._arrays)
+
+    def bulk_load_vec(
+        self,
+        key_columns: "list[np.ndarray]",
+        values: np.ndarray,
+        func: str,
+        keys_factory,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`bulk_load` for an *empty* chain, int keys only.
+
+        Same contract as :meth:`bulk_load` (unique keys in first-occurrence
+        order, final window aggregates as values) but the d-way placement
+        is simulated entirely in numpy: walking the arrays in order, the
+        first key hashing to a free slot wins it, losers proceed to the
+        next array, keys losing all ``d`` arrays overflow. Because within a
+        window arrays only fill up and keys are unique, this reproduces the
+        per-key sequential walk exactly.
+
+        Returns ``(inserted, array_idx)`` where ``array_idx[j]`` is the
+        array that stored key ``j`` (-1 for overflow). The dict view of
+        the arrays is built lazily — ``keys_factory()`` must return the
+        materialized Python key tuples and is only invoked if something
+        (``update``/``lookup``/``dump``/``bulk_load``) needs the dicts
+        before the window resets.
+        """
+        if func not in UPDATE_FUNCS:
+            raise ResourceExhaustedError(
+                f"register ALU does not support function {func!r}"
+            )
+        if not self.vec_ready():
+            raise ResourceExhaustedError(
+                "bulk_load_vec requires an empty register chain"
+            )
+        n = len(values)
+        index_matrix = (
+            self._hashes.indices_vec(key_columns)
+            if n
+            else np.empty((0, self.spec.d), dtype=np.int64)
+        )
+        inserted = np.zeros(n, dtype=bool)
+        array_idx = np.full(n, -1, dtype=np.int64)
+        remaining = np.arange(n, dtype=np.int64)
+        for which in range(self.spec.d):
+            if not len(remaining):
+                break
+            slots = index_matrix[remaining, which]
+            # First occurrence per slot wins it (np.unique returns the
+            # index of each unique value's first appearance).
+            _, first = np.unique(slots, return_index=True)
+            winners = remaining[first]
+            inserted[winners] = True
+            array_idx[winners] = which
+            keep = np.ones(len(remaining), dtype=bool)
+            keep[first] = False
+            remaining = remaining[keep]
+        if n:
+            self._pending = (index_matrix, values, array_idx, keys_factory)
+        return inserted, array_idx
+
+    def _materialize_pending(self) -> None:
+        if self._pending is None:
+            return
+        index_matrix, values, array_idx, keys_factory = self._pending
+        self._pending = None
+        keys = keys_factory()
+        for which in range(self.spec.d):
+            for j in np.flatnonzero(array_idx == which).tolist():
+                self._arrays[which][int(index_matrix[j, which])] = (
+                    keys[j],
+                    int(values[j]),
+                )
 
     def update(self, key: Hashable, func: str, arg: int = 1) -> UpdateResult:
         """Apply ``func`` for ``key``; walk the chain on collisions."""
+        self._materialize_pending()
         try:
             update_func = _UPDATE_FUNCS[func]
         except KeyError:
@@ -140,6 +220,7 @@ class RegisterChain:
             raise ResourceExhaustedError(
                 f"register ALU does not support function {func!r}"
             )
+        self._materialize_pending()
         merge = MERGE_FUNCS[func]
         index_rows: "list[list[int]] | None" = None
         if key_columns is not None and len(keys):
@@ -163,6 +244,7 @@ class RegisterChain:
         return inserted
 
     def lookup(self, key: Hashable) -> int | None:
+        self._materialize_pending()
         for which in range(self.spec.d):
             slot = self._arrays[which].get(self._hashes.index(which, key))
             if slot is not None and slot[0] == key:
@@ -171,6 +253,7 @@ class RegisterChain:
 
     def dump(self) -> dict[Hashable, int]:
         """All stored (key, value) pairs — the end-of-window poll."""
+        self._materialize_pending()
         out: dict[Hashable, int] = {}
         for array in self._arrays:
             for key, value in array.values():
@@ -178,10 +261,14 @@ class RegisterChain:
         return out
 
     def occupancy(self) -> int:
-        return sum(len(array) for array in self._arrays)
+        occupied = sum(len(array) for array in self._arrays)
+        if self._pending is not None:
+            occupied += int((self._pending[2] >= 0).sum())
+        return occupied
 
     def reset(self) -> None:
         """End-of-window register clear."""
+        self._pending = None
         for array in self._arrays:
             array.clear()
 

@@ -45,6 +45,12 @@ from repro.obs import get_observability
 from repro.packets.packet import Packet
 from repro.switch.compiler import CompiledSubQuery
 from repro.switch.config import SwitchConfig
+from repro.switch.mirror import (
+    MirroredBatch,
+    MirroredRows,
+    MirroredTuple,
+    merge_tagged,
+)
 from repro.switch.parser import ParserConfig
 from repro.switch.registers import RegisterChain
 from repro.switch.tables import LogicalTable
@@ -54,15 +60,34 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 logger = logging.getLogger(__name__)
 
+#: The mirror channel's window output: columnar batches where the
+#: vectorized path ran, row-materialized fallbacks where it could not.
+MirrorItem = "MirroredBatch | MirroredRows"
+
+
+def _item_len(item: "MirroredBatch | MirroredRows") -> int:
+    return len(item.tagged) if isinstance(item, MirroredRows) else item.n_rows
+
 
 @dataclass
-class MirroredTuple:
-    """One tuple sent from the switch to the stream processor."""
+class _ChainCache:
+    """Columnar view of one register chain's window, for end-of-window
+    reporting without materializing Python key tuples.
 
-    instance: str
-    kind: str  # "stream" (stateless-last), "key_report", "overflow"
-    fields: dict[str, Any]
-    op_index: int  # operators already applied when the tuple left the switch
+    ``unique`` is the first-occurrence-ordered int64 key matrix of
+    :func:`~repro.exec.group_first_occurrence`; ``inserted``/``array_idx``
+    come from :meth:`~repro.switch.registers.RegisterChain.bulk_load_vec`
+    (``array_idx`` reproduces the physical dump order); ``reported`` marks
+    keys the per-packet oracle would have added to ``reported_keys``.
+    """
+
+    keys: tuple
+    unique: np.ndarray
+    inserted: np.ndarray
+    array_idx: np.ndarray
+    reported: np.ndarray
+    finals: "np.ndarray | None" = None  # reduce window aggregates
+    out_field: "str | None" = None
 
 
 class _PacketTuple(dict):
@@ -90,6 +115,9 @@ class InstalledInstance:
     chains: dict[int, RegisterChain] = field(default_factory=dict)  # op idx -> chain
     folded_by_op: dict[int, Filter] = field(default_factory=dict)
     reported_keys: set = field(default_factory=set)
+    #: op index -> :class:`_ChainCache` for chains loaded via the
+    #: vectorized path this window (cleared by :meth:`PISASwitch.end_window`).
+    window_caches: dict = field(default_factory=dict)
     packets_seen: int = 0
     packets_surviving: int = 0
     tuples_mirrored: int = 0
@@ -546,12 +574,28 @@ class PISASwitch:
         Semantically identical to calling :meth:`process_packet` on every
         packet of ``trace`` in order and concatenating the results —
         including register insertion order, overflow mirroring, counters
-        and report sets — but executed vectorized over the trace columns.
-        Stateful operators are simulated per *unique key* (in first-
-        occurrence order) instead of per packet: register arrays only fill
-        up within a window, so a key's inserted/overflowed fate is decided
-        at its first occurrence and its final value is the window
-        aggregate of its rows.
+        and report sets. This row-materializing wrapper exists for callers
+        that want per-tuple output; the batch channel consumes
+        :meth:`process_window_items` directly.
+        """
+        return merge_tagged(self.process_window_items(trace))
+
+    def process_window_items(
+        self, trace: "Trace"
+    ) -> "list[MirroredBatch | MirroredRows]":
+        """Run one window, returning the mirror output in columnar batches.
+
+        Each item is either a :class:`MirroredBatch` (one instance's
+        same-kind output, still columnar) or a :class:`MirroredRows`
+        fallback where the scalar oracle had to run (float-typed keys).
+        Flattened through :func:`merge_tagged`, the items reproduce the
+        per-packet channel's tuple stream exactly — including register
+        insertion order, overflow mirroring, counters and report sets —
+        but executed vectorized over the trace columns. Stateful operators
+        are simulated per *unique key* (in first-occurrence order) instead
+        of per packet: register arrays only fill up within a window, so a
+        key's inserted/overflowed fate is decided at its first occurrence
+        and its final value is the window aggregate of its rows.
 
         Forced register overflow (fault injection) draws its PRNG stream
         once per register update in per-packet order, which cannot be
@@ -560,10 +604,16 @@ class PISASwitch:
         """
         injector = self.fault_injector
         if injector is not None and injector.spec.overflow_pressure:
-            out: list[MirroredTuple] = []
-            for packet in trace.packets():
-                out.extend(self.process_packet(packet))
-            return out
+            items: list = []
+            for row, packet in enumerate(trace.packets()):
+                tuples = self.process_packet(packet)
+                if tuples:
+                    items.append(
+                        MirroredRows(
+                            tagged=[(row, j, t) for j, t in enumerate(tuples)]
+                        )
+                    )
+            return items
 
         state = ColumnarState.from_trace(trace)
         rows = np.arange(state.n_rows, dtype=np.int64)
@@ -578,15 +628,15 @@ class PISASwitch:
                 rows = rows[keep]
         self.packets_processed += len(rows)
 
-        # (row, instance position) orders the batch exactly like the
+        # Each batch row is tagged with its (global row, instance
+        # position) so flattening orders the tuples exactly like the
         # per-packet loop emits: all of packet i's tuples before packet
         # i+1's, instances in installation order within a packet.
-        tagged: list[tuple[int, int, MirroredTuple]] = []
+        items = []
         for pos, inst in enumerate(self.instances.values()):
-            self._process_instance_window(inst, state, rows, pos, tagged)
-        tagged.sort(key=lambda item: (item[0], item[1]))
-        self.tuples_mirrored += len(tagged)
-        return [item[2] for item in tagged]
+            self._process_instance_window(inst, state, rows, pos, items)
+        self.tuples_mirrored += sum(_item_len(item) for item in items)
+        return items
 
     def _process_instance_window(
         self,
@@ -594,7 +644,7 @@ class PISASwitch:
         state: ColumnarState,
         rows: np.ndarray,
         pos: int,
-        out: list,
+        items: list,
     ) -> None:
         inst.packets_seen += len(rows)
         ops = inst.compiled.subquery.operators[: inst.n_operators]
@@ -618,37 +668,41 @@ class PISASwitch:
                 i += 1
                 continue
             if isinstance(op, Distinct):
-                cont = self._batch_distinct(inst, op, i, state, sel, pos, out, ops)
+                cont = self._batch_distinct(inst, op, i, state, sel, pos, items, ops)
                 if cont is None:
                     return
                 state, sel = cont
                 i += 1
                 continue
             if isinstance(op, Reduce):
-                self._batch_reduce(inst, op, i, state, sel, pos, out, schemas)
+                self._batch_reduce(inst, op, i, state, sel, pos, items, schemas)
                 return
             raise ResourceExhaustedError(f"operator {op!r} cannot run on the switch")
 
-        # Stateless-last instance: every surviving row is mirrored.
+        # Stateless-last instance: every surviving row is mirrored as one
+        # columnar stream batch — no per-row dicts on the hot path.
         n = len(sel)
         if n == 0:
             return
         inst.packets_surviving += n
         inst.tuples_mirrored += n
         schema = schemas[inst.n_operators]
-        for row, fields in zip(sel.tolist(), materialize_rows(state, schema.fields)):
-            out.append(
-                (
-                    row,
-                    pos,
-                    MirroredTuple(
-                        instance=inst.key,
-                        kind="stream",
-                        fields=fields,
-                        op_index=inst.n_operators,
-                    ),
-                )
+        items.append(
+            MirroredBatch(
+                instance=inst.key,
+                kind="stream",
+                op_index=inst.n_operators,
+                state=ColumnarState(
+                    columns={name: state.columns[name] for name in schema.fields},
+                    vocabs={
+                        k: v for k, v in state.vocabs.items() if k in schema.fields
+                    },
+                    payloads=state.payloads,
+                ),
+                rows=sel,
+                pos=pos,
             )
+        )
 
     def _replay_rows(
         self,
@@ -690,6 +744,41 @@ class PISASwitch:
             return None
         return [unique[:, j] for j in range(unique.shape[1])]
 
+    @staticmethod
+    def _keys_factory(state: ColumnarState, keys, unique: np.ndarray):
+        """Deferred Python-tuple materialization for a lazily-loaded chain."""
+
+        def factory() -> list[tuple]:
+            return materialize_keys(state, keys, unique)
+
+        return factory
+
+    def _load_chain(
+        self,
+        chain: RegisterChain,
+        state: ColumnarState,
+        keys,
+        unique: np.ndarray,
+        values: np.ndarray,
+        func: str,
+    ) -> "tuple[np.ndarray, np.ndarray | None, list[tuple] | None]":
+        """Bulk-load one window into ``chain``, vectorized when possible.
+
+        Returns ``(inserted, array_idx, key_tuples)``: the vectorized path
+        never materializes Python key tuples (``key_tuples`` is ``None``)
+        and reports physical placement via ``array_idx``; the scalar path
+        returns the tuples it had to build and ``array_idx=None``.
+        """
+        key_cols = self._vector_key_columns(state, keys, unique)
+        if key_cols is not None and chain.vec_ready():
+            inserted, array_idx = chain.bulk_load_vec(
+                key_cols, values, func, self._keys_factory(state, keys, unique)
+            )
+            return inserted, array_idx, None
+        key_tuples = materialize_keys(state, keys, unique)
+        inserted = chain.bulk_load(key_tuples, values, func, key_cols)
+        return inserted, None, key_tuples
+
     def _batch_distinct(
         self,
         inst: InstalledInstance,
@@ -698,22 +787,21 @@ class PISASwitch:
         state: ColumnarState,
         sel: np.ndarray,
         pos: int,
-        out: list,
+        items: list,
         ops,
     ) -> "tuple[ColumnarState, np.ndarray] | None":
         schemas = inst.compiled.schemas
         keys = op.effective_keys(schemas[i])
         if any(state.columns[k].dtype.kind == "f" for k in keys):
-            self._replay_rows(inst, state, sel, i, pos, out)
+            tagged: list = []
+            self._replay_rows(inst, state, sel, i, pos, tagged)
+            if tagged:
+                items.append(MirroredRows(tagged=tagged))
             return None
         unique, first_rows, inv = group_first_occurrence(state, keys)
-        key_tuples = materialize_keys(state, keys, unique)
         chain = inst.chains[i]
-        inserted = chain.bulk_load(
-            key_tuples,
-            np.ones(len(key_tuples), dtype=np.int64),
-            "or",
-            self._vector_key_columns(state, keys, unique),
+        inserted, array_idx, key_tuples = self._load_chain(
+            chain, state, keys, unique, np.ones(len(unique), dtype=np.int64), "or"
         )
         chain.updates += len(sel)
         row_overflow = ~inserted[inv] if len(sel) else np.zeros(0, dtype=bool)
@@ -721,26 +809,36 @@ class PISASwitch:
         if n_over:
             chain.overflows += n_over
             inst.tuples_mirrored += n_over
-            sel_list = sel.tolist()
-            inv_list = inv.tolist()
-            for r in np.flatnonzero(row_overflow).tolist():
-                out.append(
-                    (
-                        sel_list[r],
-                        pos,
-                        MirroredTuple(
-                            instance=inst.key,
-                            kind="overflow",
-                            fields=dict(zip(keys, key_tuples[inv_list[r]])),
-                            op_index=i,
-                        ),
-                    )
+            items.append(
+                MirroredBatch(
+                    instance=inst.key,
+                    kind="overflow",
+                    op_index=i,
+                    state=ColumnarState(
+                        columns={k: state.columns[k][row_overflow] for k in keys},
+                        vocabs={
+                            k: v for k, v in state.vocabs.items() if k in keys
+                        },
+                        payloads=state.payloads,
+                    ),
+                    rows=sel[row_overflow],
+                    pos=pos,
                 )
+            )
         if i == len(ops) - 1:
             # Last operator: report each distinct key once at window end.
-            for j, key in enumerate(key_tuples):
-                if inserted[j]:
-                    inst.reported_keys.add((i, key))
+            if array_idx is not None:
+                inst.window_caches[i] = _ChainCache(
+                    keys=tuple(keys),
+                    unique=unique,
+                    inserted=inserted,
+                    array_idx=array_idx,
+                    reported=inserted,
+                )
+            else:
+                for j, key in enumerate(key_tuples):
+                    if inserted[j]:
+                        inst.reported_keys.add((i, key))
             return None
         # Mid-chain: only the first packet of each inserted key continues,
         # carrying just the key fields (first_rows is ascending, so the
@@ -761,20 +859,22 @@ class PISASwitch:
         state: ColumnarState,
         sel: np.ndarray,
         pos: int,
-        out: list,
+        items: list,
         schemas,
     ) -> None:
         if any(state.columns[k].dtype.kind == "f" for k in op.keys):
-            self._replay_rows(inst, state, sel, i, pos, out)
+            tagged: list = []
+            self._replay_rows(inst, state, sel, i, pos, tagged)
+            if tagged:
+                items.append(MirroredRows(tagged=tagged))
             return
         func, args = reduce_args(op, state, schemas[i])
         unique, _first_rows, inv = group_first_occurrence(state, op.keys)
-        key_tuples = materialize_keys(state, op.keys, unique)
         values = None if func == "count" else args
-        finals = aggregate_groups(inv, values, len(key_tuples), func)
+        finals = aggregate_groups(inv, values, len(unique), func)
         chain = inst.chains[i]
-        inserted = chain.bulk_load(
-            key_tuples, finals, func, self._vector_key_columns(state, op.keys, unique)
+        inserted, array_idx, key_tuples = self._load_chain(
+            chain, state, op.keys, unique, finals, func
         )
         chain.updates += len(sel)
         row_overflow = ~inserted[inv] if len(sel) else np.zeros(0, dtype=bool)
@@ -782,29 +882,44 @@ class PISASwitch:
         if n_over:
             chain.overflows += n_over
             inst.tuples_mirrored += n_over
-            sel_list = sel.tolist()
-            inv_list = inv.tolist()
-            args_list = args.tolist()
-            for r in np.flatnonzero(row_overflow).tolist():
-                fields = dict(zip(op.keys, key_tuples[inv_list[r]]))
-                fields[op.out] = 1 if func == "count" else args_list[r]
-                out.append(
-                    (
-                        sel_list[r],
-                        pos,
-                        MirroredTuple(
-                            instance=inst.key,
-                            kind="overflow",
-                            fields=fields,
-                            op_index=i,
-                        ),
-                    )
+            over_columns = {k: state.columns[k][row_overflow] for k in op.keys}
+            over_columns[op.out] = (
+                np.ones(n_over, dtype=np.int64)
+                if func == "count"
+                else args[row_overflow]
+            )
+            items.append(
+                MirroredBatch(
+                    instance=inst.key,
+                    kind="overflow",
+                    op_index=i,
+                    state=ColumnarState(
+                        columns=over_columns,
+                        vocabs={
+                            k: v for k, v in state.vocabs.items() if k in op.keys
+                        },
+                        payloads=state.payloads,
+                    ),
+                    rows=sel[row_overflow],
+                    pos=pos,
                 )
+            )
         folded = inst.folded_by_op.get(i)
         if folded is None:
-            for j, key in enumerate(key_tuples):
-                if inserted[j]:
-                    inst.reported_keys.add((i, key))
+            if array_idx is not None:
+                inst.window_caches[i] = _ChainCache(
+                    keys=tuple(op.keys),
+                    unique=unique,
+                    inserted=inserted,
+                    array_idx=array_idx,
+                    reported=inserted,
+                    finals=finals,
+                    out_field=op.out,
+                )
+            else:
+                for j, key in enumerate(key_tuples):
+                    if inserted[j]:
+                        inst.reported_keys.add((i, key))
             return
         # Folded threshold: a key is reported iff any of its running
         # (per-update) aggregates passes — first-crossing semantics.
@@ -816,9 +931,24 @@ class PISASwitch:
         if simple:
             passing = threshold_mask(folded.predicates, run)
             passing &= inserted[inv]
-            for j in np.unique(inv[passing]).tolist():
-                inst.reported_keys.add((i, key_tuples[j]))
+            if array_idx is not None:
+                reported = np.zeros(len(unique), dtype=bool)
+                reported[inv[passing]] = True
+                inst.window_caches[i] = _ChainCache(
+                    keys=tuple(op.keys),
+                    unique=unique,
+                    inserted=inserted,
+                    array_idx=array_idx,
+                    reported=reported,
+                    finals=finals,
+                    out_field=op.out,
+                )
+            else:
+                for j in np.unique(inv[passing]).tolist():
+                    inst.reported_keys.add((i, key_tuples[j]))
         else:  # pragma: no cover - compiler folds only simple thresholds
+            if key_tuples is None:
+                key_tuples = materialize_keys(state, op.keys, unique)
             run_list = run.tolist()
             inv_list = inv.tolist()
             for r in range(len(sel)):
@@ -838,8 +968,60 @@ class PISASwitch:
     ) -> dict[str, list[MirroredTuple]]:
         """Close the window: emit per-key reports and reset registers.
 
-        Returns, per instance, the ``key_report`` tuples the emitter reads
-        from the registers (final aggregates for reported keys).
+        Row-materializing wrapper over :meth:`end_window_items` for
+        callers that want per-tuple reports; the batch channel consumes
+        the columnar items directly.
+        """
+        return {
+            key: item.materialize() if isinstance(item, MirroredBatch) else item
+            for key, item in self.end_window_items(full_dump).items()
+        }
+
+    def _report_batch_from_cache(
+        self, inst: InstalledInstance, cache: _ChainCache, last_idx: int, full: bool
+    ) -> MirroredBatch:
+        """Key reports straight from the window cache, still columnar.
+
+        Reproduces the dict path's ordering exactly: a full dump walks the
+        register arrays in physical order (array 0's insertions first),
+        reported keys are sorted ascending like ``sorted(reported_keys)``.
+        """
+        if full:
+            sel_idx = np.flatnonzero(cache.inserted)
+            order = sel_idx[np.argsort(cache.array_idx[sel_idx], kind="stable")]
+            op_end = last_idx + 1  # before any folded filter
+        else:
+            sel_idx = np.flatnonzero(cache.reported & cache.inserted)
+            if len(sel_idx):
+                cols = tuple(
+                    cache.unique[sel_idx, j]
+                    for j in reversed(range(cache.unique.shape[1]))
+                )
+                order = sel_idx[np.lexsort(cols)]
+            else:
+                order = sel_idx
+            op_end = self._reported_op_end(inst, last_idx)
+        columns: dict[str, np.ndarray] = {
+            k: cache.unique[order, j] for j, k in enumerate(cache.keys)
+        }
+        if cache.out_field is not None and cache.finals is not None:
+            columns[cache.out_field] = cache.finals[order]
+        return MirroredBatch(
+            instance=inst.key,
+            kind="key_report",
+            op_index=op_end,
+            state=ColumnarState(columns=columns),
+        )
+
+    def end_window_items(
+        self, full_dump: "set[str] | None" = None
+    ) -> "dict[str, MirroredBatch | list[MirroredTuple]]":
+        """Close the window: emit per-key reports and reset registers.
+
+        Returns, per instance, the ``key_report`` output the emitter reads
+        from the registers (final aggregates for reported keys) — a
+        columnar :class:`MirroredBatch` when the window ran vectorized, a
+        tuple list where the scalar oracle had to run.
 
         ``full_dump`` names instances whose registers must be polled in
         full, *without* folded-threshold gating, with ``op_index`` set to
@@ -849,15 +1031,26 @@ class PISASwitch:
         threshold is re-applied (the §3.1.3 collision adjustment).
         """
         full_dump = full_dump or set()
-        reports: dict[str, list[MirroredTuple]] = {}
+        reports: "dict[str, MirroredBatch | list[MirroredTuple]]" = {}
         # Rebuilt from scratch so stats of uninstalled instances (e.g. a
         # raw-mirror fallback) don't linger and re-trigger signals.
         self.window_overflow_stats = {}
         for inst in self.instances.values():
-            out: list[MirroredTuple] = []
+            out: "MirroredBatch | list[MirroredTuple]" = []
+            n_out = 0
             if inst.n_operators > 0 and inst.last_op_stateful:
                 last_idx = max(inst.chains) if inst.chains else None
-                if last_idx is not None:
+                cache = (
+                    inst.window_caches.get(last_idx)
+                    if last_idx is not None
+                    else None
+                )
+                if cache is not None:
+                    out = self._report_batch_from_cache(
+                        inst, cache, last_idx, inst.key in full_dump
+                    )
+                    n_out = out.n_rows
+                elif last_idx is not None:
                     op = inst.compiled.subquery.operators[last_idx]
                     dump = inst.chains[last_idx].dump()
                     if inst.key in full_dump:
@@ -886,14 +1079,15 @@ class PISASwitch:
                                 op_index=op_end,
                             )
                         )
-            inst.tuples_mirrored += len(out)
-            self.tuples_mirrored += len(out)
+                    n_out = len(out)
+            inst.tuples_mirrored += n_out
+            self.tuples_mirrored += n_out
             reports[inst.key] = out
-            if out:
+            if n_out:
                 self.obs.counter(
                     "sonata_key_reports_total",
                     "per-key register reports read at window end",
-                ).inc(len(out), instance=inst.key)
+                ).inc(n_out, instance=inst.key)
             updates = overflows = 0
             for chain in inst.chains.values():
                 window_updates, window_overflows = chain.take_window_stats()
@@ -902,6 +1096,7 @@ class PISASwitch:
                 chain.reset()
             self.window_overflow_stats[inst.key] = (updates, overflows)
             inst.reported_keys.clear()
+            inst.window_caches.clear()
             self.control_plane_seconds += self.config.register_reset_seconds
         return reports
 

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.errors import PlanningError
 from repro.runtime.wire import WireCodec
+from repro.switch.mirror import MirroredBatch
 from repro.switch.simulator import MirroredTuple
 
 
@@ -139,6 +140,183 @@ class TestRandomizedRoundTrip:
         codec.configure("wide", {"v": 64})
         tup = MirroredTuple("wide", "stream", {"v": (1 << 64) - 1}, 0)
         assert codec.decode(codec.encode(tup)) == tup
+
+
+class TestBatchScalarParity:
+    """encode_batch must be bit-for-bit the concatenated scalar records,
+    and decode_batch ∘ encode_batch the identity, for every schema the
+    codec can express — int-only, float, blob-bearing and mixed."""
+
+    N_SCHEMAS = 40
+    ROWS_PER_SCHEMA = 7
+
+    @staticmethod
+    def random_schema(rng):
+        schema = {}
+        for i in range(rng.randint(1, 6)):
+            schema[f"f{i}"] = rng.choice(
+                [1, 4, 7, 8, 16, 31, 32, 48, 64, "float"]
+            )
+        if rng.random() < 0.4:
+            schema["payload"] = 0
+        if rng.random() < 0.4:
+            schema["dns.rr.name"] = 0
+        if rng.random() < 0.3:
+            schema["note"] = 0  # plain str field, no vocab special-casing
+        return schema
+
+    @staticmethod
+    def random_value(rng, name, bits):
+        if name == "payload":
+            return bytes(rng.randrange(256) for _ in range(rng.randint(0, 40)))
+        if bits == 0 or name == "dns.rr.name":
+            return "".join(
+                rng.choice("abcxyz0123-.") for _ in range(rng.randint(0, 16))
+            )
+        if bits == "float":
+            return rng.choice([0.0, -1.5, 3.141592653589793, rng.random() * 1e9])
+        # Batches intern int columns as int64, so cap below 2**63 (the
+        # full uint64 range is exercised by the switch-built-column tests).
+        top = (1 << min(bits, 63)) - 1
+        return rng.choice([0, 1, top, rng.randint(0, top)])
+
+    def _random_batch(self, rng, key, schema):
+        tuples = [
+            MirroredTuple(
+                instance=key,
+                kind="stream",
+                fields={
+                    name: self.random_value(rng, name, bits)
+                    for name, bits in schema.items()
+                },
+                op_index=0,
+            )
+            for _ in range(rng.randint(1, self.ROWS_PER_SCHEMA))
+        ]
+        kind = rng.choice(["stream", "key_report", "overflow"])
+        op_index = rng.randint(0, 255)
+        batch = MirroredBatch.from_tuples(
+            key, kind, op_index, tuples, order=list(schema)
+        )
+        return batch, [
+            MirroredTuple(key, kind, t.fields, op_index) for t in tuples
+        ]
+
+    def test_encode_batch_is_concatenated_scalar_records(self):
+        import random
+
+        rng = random.Random(20260806)
+        codec = WireCodec()
+        for which in range(self.N_SCHEMAS):
+            key = f"inst{which}"
+            schema = self.random_schema(rng)
+            codec.configure(key, schema)
+            batch, tuples = self._random_batch(rng, key, schema)
+            expected = b"".join(codec.encode(t) for t in tuples)
+            assert codec.encode_batch(batch) == expected, (
+                f"schema {schema} broke batch/scalar encode parity"
+            )
+
+    def test_decode_batch_roundtrip_identity(self):
+        import random
+
+        rng = random.Random(20260807)
+        codec = WireCodec()
+        for which in range(self.N_SCHEMAS):
+            key = f"inst{which}"
+            schema = self.random_schema(rng)
+            codec.configure(key, schema)
+            batch, tuples = self._random_batch(rng, key, schema)
+            decoded = codec.decode_batch(codec.encode_batch(batch))
+            assert decoded.data_equal(batch), (
+                f"schema {schema} broke batch round-trip"
+            )
+            # And the decoded batch materializes to the scalar decodes.
+            scalar = [codec.decode(codec.encode(t)) for t in tuples]
+            assert decoded.materialize() == scalar
+
+    def test_empty_batch_roundtrip(self):
+        codec = make_codec()
+        empty = codec.decode_batch(b"", "q1.s0@0-32")
+        assert empty.n_rows == 0
+        assert set(empty.field_names()) == {
+            "ipv4.dIP", "count", "payload", "dns.rr.name",
+        }
+        assert codec.encode_batch(empty) == b""
+
+    def test_empty_batch_needs_schema_key(self):
+        codec = make_codec()
+        with pytest.raises(PlanningError):
+            codec.decode_batch(b"")
+
+    def test_mixed_headers_rejected(self):
+        codec = WireCodec()
+        codec.configure("a", {"v": 32})
+        codec.configure("b", {"v": 32})
+        record_a = codec.encode(MirroredTuple("a", "stream", {"v": 1}, 0))
+        record_b = codec.encode(MirroredTuple("b", "stream", {"v": 2}, 0))
+        with pytest.raises(PlanningError, match="mixed headers"):
+            codec.decode_batch(record_a + record_b)
+
+    def test_trailing_bytes_rejected(self):
+        codec = WireCodec()
+        codec.configure("t", {"v": 32})
+        record = codec.encode(MirroredTuple("t", "stream", {"v": 7}, 0))
+        with pytest.raises(PlanningError, match="trailing"):
+            codec.decode_batch(record + b"\x01")
+
+    def test_overflow_error_parity(self):
+        """Out-of-range ints raise the same errors int.to_bytes raises."""
+        codec = WireCodec()
+        codec.configure("o", {"v": 8})
+        big = MirroredBatch.from_tuples(
+            "o", "stream", 0,
+            [MirroredTuple("o", "stream", {"v": 300}, 0)],
+        )
+        with pytest.raises(OverflowError) as batch_exc:
+            codec.encode_batch(big)
+        with pytest.raises(OverflowError) as scalar_exc:
+            codec.encode(MirroredTuple("o", "stream", {"v": 300}, 0))
+        assert str(batch_exc.value) == str(scalar_exc.value)
+
+        negative = MirroredBatch.from_tuples(
+            "o", "stream", 0,
+            [MirroredTuple("o", "stream", {"v": -1}, 0)],
+        )
+        with pytest.raises(OverflowError) as batch_neg:
+            codec.encode_batch(negative)
+        with pytest.raises(OverflowError) as scalar_neg:
+            codec.encode(MirroredTuple("o", "stream", {"v": -1}, 0))
+        assert str(batch_neg.value) == str(scalar_neg.value)
+
+    def test_instance_key_override_matches_tagged_tuple(self):
+        """The batch channel encodes under a schema key that differs from
+        the batch's instance name, like the scalar path's re-tagging."""
+        codec = WireCodec()
+        codec.configure("inst#stream#1", {"v": 16})
+        batch = MirroredBatch.from_tuples(
+            "inst", "stream", 1,
+            [MirroredTuple("inst", "stream", {"v": 9}, 1)],
+        )
+        encoded = codec.encode_batch(batch, "inst#stream#1")
+        tagged = MirroredTuple("inst#stream#1", "stream", {"v": 9}, 1)
+        assert encoded == codec.encode(tagged)
+        decoded = codec.decode_batch(encoded, "inst#stream#1")
+        assert decoded.materialize()[0].fields == {"v": 9}
+
+    def test_float_fields_roundtrip_exactly(self):
+        codec = WireCodec()
+        codec.configure("f", {"ts": "float", "v": 32})
+        values = [0.0, -0.0, 1.5, 0.11449673109625902, 2.0**53 + 1.0]
+        batch = MirroredBatch.from_tuples(
+            "f", "stream", 0,
+            [
+                MirroredTuple("f", "stream", {"ts": ts, "v": i}, 0)
+                for i, ts in enumerate(values)
+            ],
+        )
+        decoded = codec.decode_batch(codec.encode_batch(batch))
+        assert [t.fields["ts"] for t in decoded.materialize()] == values
 
 
 class TestRuntimeWireCheck:
